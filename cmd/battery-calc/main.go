@@ -1,0 +1,33 @@
+// Command battery-calc regenerates the paper's motivation numbers:
+// Figure 1's DRAM-vs-lithium growth gap, the §2.2 battery-sizing worked
+// example (4 TB ⇒ ~300 KJ ⇒ ~10× a phone battery, ≥25× after
+// deratings), and the §8 availability comparison of shutdown flush
+// times.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"viyojit/internal/experiments"
+)
+
+func main() {
+	out := os.Stdout
+	if err := experiments.FprintFig1(out); err != nil {
+		fmt.Fprintln(os.Stderr, "battery-calc:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(out)
+	experiments.FprintBatterySizing(out)
+	fmt.Fprintln(out)
+	if err := experiments.FprintAvailability(out); err != nil {
+		fmt.Fprintln(os.Stderr, "battery-calc:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(out)
+	if err := experiments.FprintWarmup(out, 1); err != nil {
+		fmt.Fprintln(os.Stderr, "battery-calc:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,94 @@
+// Command powerfail is a narrated durability demonstration: it builds a
+// Viyojit system with a battery covering ~12.5 % of the NV-DRAM, dirties
+// far more data than the battery could flush naively, pulls the plug,
+// verifies byte-for-byte durability, and reboots warm.
+//
+// Usage:
+//
+//	powerfail [-size BYTES] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"viyojit"
+	"viyojit/internal/sim"
+)
+
+func main() {
+	size := flag.Int64("size", 64<<20, "NV-DRAM size in bytes")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	flag.Parse()
+
+	sys, err := viyojit.New(viyojit.Config{NVDRAMSize: *size})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("NV-DRAM: %d MiB, dirty budget: %d pages (%.1f%% of the region)\n",
+		*size>>20, sys.DirtyBudget(), float64(sys.DirtyBudget())*4096*100/float64(*size))
+
+	heapSize := *size / 2
+	m, err := sys.Map("demo-heap", heapSize)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Dirty every page of the heap — 4x the battery's budget — with a
+	// skewed rewrite pattern on top.
+	rng := sim.NewRNG(*seed)
+	pages := int(heapSize / 4096)
+	fmt.Printf("writing to all %d heap pages (%.0fx the dirty budget)...\n",
+		pages, float64(pages)/float64(sys.DirtyBudget()))
+	buf := make([]byte, 128)
+	for p := 0; p < pages; p++ {
+		for i := range buf {
+			buf[i] = byte(rng.Uint64())
+		}
+		if err := m.WriteAt(buf, int64(p)*4096); err != nil {
+			fatal(err)
+		}
+		sys.Pump()
+	}
+	for i := 0; i < 4*pages; i++ {
+		p := rng.Intn(pages / 8) // hot eighth
+		if err := m.WriteAt([]byte{byte(i)}, int64(p)*4096); err != nil {
+			fatal(err)
+		}
+		sys.Pump()
+	}
+	s := sys.Stats()
+	fmt.Printf("dirty now: %d pages (budget %d); faults %d, proactive cleans %d, forced cleans %d\n",
+		sys.DirtyCount(), sys.DirtyBudget(), s.Faults, s.ProactiveCleans, s.ForcedCleans)
+
+	fmt.Println("\n*** pulling the plug ***")
+	report := sys.SimulatePowerFailure()
+	fmt.Printf("flushed %d dirty pages in %v using %.2f J of %.2f J available — survived: %v\n",
+		report.PagesFlushed, report.FlushTime, report.EnergyUsedJoules,
+		report.EnergyAvailableJoules, report.Survived)
+	if err := sys.VerifyDurability(); err != nil {
+		fatal(fmt.Errorf("durability check failed: %w", err))
+	}
+	fmt.Println("durability verified: every NV-DRAM byte is recoverable from the SSD")
+
+	recovered, rr, err := sys.Recover()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nrebooted warm: %d pages restored in %v\n", rr.PagesRestored, rr.RestoreTime)
+	m2, err := recovered.Map("demo-heap", heapSize)
+	if err != nil {
+		fatal(err)
+	}
+	probe := make([]byte, 1)
+	if err := m2.ReadAt(probe, 0); err != nil {
+		fatal(err)
+	}
+	fmt.Println("recovered heap readable at DRAM latency — cache starts warm")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "powerfail:", err)
+	os.Exit(1)
+}

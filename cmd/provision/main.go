@@ -1,0 +1,100 @@
+// Command provision is the operator-facing sizing tool the paper implies
+// (§5: the battery is "potentially determined using an analysis of the
+// expected workloads similar to the one in Section 3"). It runs the §3
+// analyses over the synthetic data-center applications and prints, per
+// volume and per machine, the recommended dirty budget, the battery to
+// provision, the §3 category, and the savings versus a full-DRAM battery.
+//
+// Usage:
+//
+//	provision [-seed S] [-percentile P] [-headroom H]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"viyojit/internal/advisor"
+	"viyojit/internal/trace"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "trace generation seed")
+	pct := flag.Float64("percentile", 0.99, "write percentile the steady-state dirty set must cover")
+	headroom := flag.Float64("headroom", 1.25, "safety margin on the recommended budget")
+	file := flag.String("file", "", "analyse a single trace file (cmd/tracegen format) instead of the synthetic suite")
+	flag.Parse()
+
+	opts := advisor.Options{Percentile: *pct, Headroom: *headroom}
+
+	if *file != "" {
+		analyzeFile(*file, opts)
+		return
+	}
+
+	apps, err := trace.Applications(*seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	for _, app := range apps {
+		recs, agg, err := advisor.AnalyzeApplication(app, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("== %s ==\n", app.Name)
+		fmt.Printf("%-8s %10s %10s %12s %14s %-14s %s\n",
+			"Volume", "Budget", "Fraction", "Battery (J)", "Savings", "Category", "")
+		for i, r := range recs {
+			note := ""
+			if !r.WorthIt {
+				note = "(decoupling buys little here)"
+			}
+			fmt.Printf("%-8s %7d pg %9.1f%% %12.2f %13.0f%% %-14s %s\n",
+				r.Volume, r.BudgetPages, r.BudgetFraction*100,
+				r.Battery.CapacityJoules,
+				advisor.Savings(r, app.Volumes[i], opts)*100,
+				r.Category, note)
+		}
+		fmt.Printf("%-8s %7d pg %9.1f%% %12.2f\n\n",
+			"MACHINE", agg.BudgetPages, agg.BudgetFraction*100, agg.Battery.CapacityJoules)
+	}
+	fmt.Println("Battery figures are nameplate joules (after depth-of-discharge).")
+	fmt.Println("Categories follow §3: decoupling pays off most for skewed-light volumes.")
+}
+
+// analyzeFile runs the advisor on one operator-supplied trace file.
+func analyzeFile(path string, opts advisor.Options) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	v, err := trace.ReadVolume(f)
+	if err != nil {
+		fatal(err)
+	}
+	r, err := advisor.Analyze(v, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("volume %s: %d events over %v, %d pages\n",
+		v.Spec.Name, len(v.Events), v.Duration, v.TotalPages())
+	fmt.Printf("category: %s", r.Category)
+	if !r.WorthIt {
+		fmt.Printf(" (decoupling buys little here)")
+	}
+	fmt.Println()
+	fmt.Printf("recommended dirty budget: %d pages (%.1f%% of the volume)\n", r.BudgetPages, r.BudgetFraction*100)
+	fmt.Printf("  drivers: worst-hour burst %d pages, %0.f%%-ile hot set %d pages, headroom %.2fx\n",
+		r.WorstHourPages, opts.Percentile*100, r.HotSetPages, r.Headroom)
+	fmt.Printf("battery to provision: %.2f J nameplate (DoD %.0f%%)\n",
+		r.Battery.CapacityJoules, r.Battery.DepthOfDischarge*100)
+	fmt.Printf("savings vs full-DRAM battery: %.0f%%\n", advisor.Savings(r, v, opts)*100)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "provision:", err)
+	os.Exit(1)
+}

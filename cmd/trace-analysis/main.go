@@ -1,0 +1,36 @@
+// Command trace-analysis regenerates the paper's §3 workload analysis
+// (Figures 2, 3 and 4) from the synthetic data-center volume traces: the
+// worst-interval written fraction per volume and the page counts needed
+// to cover each percentile of writes, relative to touched and to total
+// pages.
+//
+// Usage:
+//
+//	trace-analysis [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"viyojit/internal/experiments"
+	"viyojit/internal/trace"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "trace generation seed")
+	flag.Parse()
+
+	apps, err := trace.Applications(*seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trace-analysis:", err)
+		os.Exit(1)
+	}
+	out := os.Stdout
+	experiments.FprintFig2(out, apps)
+	fmt.Fprintln(out)
+	experiments.FprintFig3(out, apps)
+	fmt.Fprintln(out)
+	experiments.FprintFig4(out, apps)
+}

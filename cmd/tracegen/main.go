@@ -1,0 +1,79 @@
+// Command tracegen generates a synthetic data-center volume trace and
+// writes it in the repository's binary trace format, for use with
+// cmd/provision -file and custom analyses. Operators with real traces
+// convert them to the same format (see internal/trace/io.go for the
+// layout) and get the full §3 analysis pipeline on their own data.
+//
+// Usage:
+//
+//	tracegen -out vol.trace [-size BYTES] [-hours H] [-write-frac F]
+//	         [-skew zipf|unique|hot] [-theta T] [-hot-frac F] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"viyojit/internal/sim"
+	"viyojit/internal/trace"
+)
+
+func main() {
+	out := flag.String("out", "", "output file (required)")
+	size := flag.Int64("size", 64<<20, "volume size in bytes")
+	hours := flag.Float64("hours", 4, "trace duration in hours")
+	writeFrac := flag.Float64("write-frac", 0.12, "worst-hour written fraction of the volume")
+	skew := flag.String("skew", "zipf", "write skew: zipf, unique, or hot")
+	theta := flag.Float64("theta", 0.99, "zipf exponent (skew=zipf)")
+	hotFrac := flag.Float64("hot-frac", 0.1, "hot-set fraction (skew=hot)")
+	touched := flag.Float64("touched", 0.6, "fraction of pages touched over the trace")
+	seed := flag.Uint64("seed", 1, "generation seed")
+	flag.Parse()
+
+	if *out == "" {
+		fatal(fmt.Errorf("-out is required"))
+	}
+	var kind trace.SkewKind
+	switch *skew {
+	case "zipf":
+		kind = trace.SkewZipf
+	case "unique":
+		kind = trace.SkewUnique
+	case "hot":
+		kind = trace.SkewHot
+	default:
+		fatal(fmt.Errorf("unknown skew %q", *skew))
+	}
+	spec := trace.VolumeSpec{
+		Name:                   *out,
+		SizeBytes:              *size,
+		WorstHourWriteFraction: *writeFrac,
+		Skew:                   kind,
+		Theta:                  *theta,
+		HotFraction:            *hotFrac,
+		TouchedFraction:        *touched,
+	}
+	v, err := trace.Generate(spec, sim.Duration(*hours*float64(trace.Hour)), *seed)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	n, err := v.WriteTo(f)
+	if err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s: %d events, %d bytes\n", *out, len(v.Events), n)
+	fmt.Printf("worst-hour written fraction: %.1f%%\n", v.WorstIntervalWrittenFraction(trace.Hour)*100)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

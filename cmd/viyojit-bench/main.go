@@ -1,0 +1,173 @@
+// Command viyojit-bench regenerates the paper's YCSB evaluation: the
+// throughput, latency, and SSD-write-rate sweeps over dirty budgets
+// (Figures 7, 8 and 9), the heap-scaling comparison (Figure 10), and the
+// ablations (§6.3 TLB flushing, victim policies, epoch length, SSD queue
+// depth, §8 battery retuning).
+//
+// Usage:
+//
+//	viyojit-bench [-ops N] [-seed S] [-quick] [-figures 7,8,9,10,ablations]
+//
+// Runs are deterministic for a given seed. -quick reduces the sweep for a
+// fast smoke run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"viyojit/internal/experiments"
+	"viyojit/internal/sim"
+)
+
+func main() {
+	ops := flag.Int("ops", 50_000, "operations per run")
+	seed := flag.Uint64("seed", 1, "experiment seed")
+	quick := flag.Bool("quick", false, "reduced sweep (fewer workloads, fractions, ops)")
+	figures := flag.String("figures", "7,8,9,10,ablations", "comma-separated figures to regenerate")
+	jsonOut := flag.String("json", "", "also write the sweep data as JSON to this file")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, f := range strings.Split(*figures, ",") {
+		want[strings.TrimSpace(f)] = true
+	}
+
+	opts := experiments.SweepOptions{OperationCount: *ops, Seed: *seed}
+	if *quick {
+		opts = experiments.QuickSweepOptions()
+		opts.Seed = *seed
+	}
+
+	out := os.Stdout
+	if want["7"] || want["8"] || want["9"] {
+		fmt.Fprintln(out, "Running the YCSB dirty-budget sweep (one line per workload × budget)...")
+		sweep, err := experiments.RunSweep(opts)
+		if err != nil {
+			fatal(err)
+		}
+		if want["7"] {
+			experiments.FprintFig7(out, sweep)
+			fmt.Fprintln(out)
+		}
+		if want["8"] {
+			experiments.FprintFig8(out, sweep)
+			fmt.Fprintln(out)
+		}
+		if want["9"] {
+			experiments.FprintFig9(out, sweep)
+			fmt.Fprintln(out)
+		}
+		if *jsonOut != "" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := experiments.WriteSweepJSON(f, sweep); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(out, "sweep data written to %s\n\n", *jsonOut)
+		}
+	}
+
+	if want["10"] {
+		fmt.Fprintln(out, "Running the heap-scaling comparison...")
+		rows, err := experiments.RunFig10(opts)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.FprintFig10(out, rows)
+		fmt.Fprintln(out)
+	}
+
+	if want["ablations"] {
+		fmt.Fprintln(out, "Running ablations...")
+		tlbOpts := opts
+		if tlbOpts.Fractions == nil {
+			tlbOpts.Fractions = experiments.SummaryFractions
+		}
+		tlb, err := experiments.RunTLBAblation(tlbOpts)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.FprintTLBAblation(out, tlb)
+		fmt.Fprintln(out)
+
+		pol, err := experiments.RunPolicyAblation(opts, 0.11)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.FprintPolicyAblation(out, pol)
+		fmt.Fprintln(out)
+
+		epochs, err := experiments.RunEpochAblation(opts, 0.11,
+			[]sim.Duration{250 * sim.Microsecond, sim.Millisecond, 4 * sim.Millisecond, 16 * sim.Millisecond})
+		if err != nil {
+			fatal(err)
+		}
+		experiments.FprintParamRows(out, "Ablation: epoch length (YCSB-A, 11% budget)", epochs)
+		fmt.Fprintln(out)
+
+		weights, err := experiments.RunEWMAAblation(opts, 0.11, []float64{0.1, 0.5, 0.75, 1.0})
+		if err != nil {
+			fatal(err)
+		}
+		experiments.FprintParamRows(out, "Ablation: dirty-page-pressure EWMA weight (YCSB-A, 11% budget)", weights)
+		fmt.Fprintln(out)
+
+		depths, err := experiments.RunQueueDepthAblation(opts, 0.11, []int{1, 4, 16, 64})
+		if err != nil {
+			fatal(err)
+		}
+		experiments.FprintParamRows(out, "Ablation: SSD outstanding-IO bound (YCSB-A, 11% budget)", depths)
+		fmt.Fprintln(out)
+
+		hw, err := experiments.RunHWAssistAblation(tlbOpts)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.FprintHWAssistAblation(out, hw)
+		fmt.Fprintln(out)
+
+		var gran []experiments.GranularityResult
+		for _, ws := range []int{64, 256, 1024, 4096} {
+			g, err := experiments.RunGranularityComparison(*seed, ws, 2000)
+			if err != nil {
+				fatal(err)
+			}
+			gran = append(gran, g)
+		}
+		experiments.FprintGranularity(out, gran)
+		fmt.Fprintln(out)
+
+		red, err := experiments.RunSSDReductionAblation(opts, 0.11)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.FprintSSDReduction(out, red)
+		fmt.Fprintln(out)
+
+		ten, err := experiments.RunTenancyExperiment(*seed, 400)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.FprintTenancy(out, ten)
+		fmt.Fprintln(out)
+
+		retune, err := experiments.RunBatteryRetune(*seed)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.FprintBatteryRetune(out, retune)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "viyojit-bench:", err)
+	os.Exit(1)
+}

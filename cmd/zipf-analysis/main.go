@@ -1,0 +1,16 @@
+// Command zipf-analysis regenerates Figure 5: under a Zipf write
+// distribution, the fraction of pages needed to cover a given percentile
+// of writes shrinks as the total page count grows — the scaling argument
+// that makes battery/DRAM decoupling more attractive the bigger the
+// NV-DRAM.
+package main
+
+import (
+	"os"
+
+	"viyojit/internal/experiments"
+)
+
+func main() {
+	experiments.FprintFig5(os.Stdout)
+}

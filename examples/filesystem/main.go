@@ -1,0 +1,112 @@
+// filesystem: a persistent file system on battery-backed DRAM — the
+// application class the paper's introduction lists first (NVM file
+// systems like BPFS/PMFS/NOVA) and the setting of its §3 analysis.
+// A file tree is built and written at DRAM speed, the power fails, and
+// the remounted volume has every directory and byte intact — with a
+// battery covering ~12.5 % of the memory.
+//
+// Run with:
+//
+//	go run ./examples/filesystem
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"viyojit"
+	"viyojit/internal/nvfs"
+)
+
+func main() {
+	sys, err := viyojit.New(viyojit.Config{NVDRAMSize: 32 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := sys.Map("volume-a", 16<<20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fs, err := nvfs.Format(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mounted a %d MiB NV-DRAM volume (dirty budget %d pages)\n",
+		16, sys.DirtyBudget())
+
+	// Build a small service's state directory.
+	for _, dir := range []string{"/etc", "/var", "/var/db"} {
+		if err := fs.Mkdir(dir); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := fs.Create("/etc/service.conf"); err != nil {
+		log.Fatal(err)
+	}
+	if err := fs.WriteFile("/etc/service.conf", []byte("retries=3\nregion=eu\n"), 0); err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		path := fmt.Sprintf("/var/db/segment-%d", i)
+		if err := fs.Create(path); err != nil {
+			log.Fatal(err)
+		}
+		seg := bytes.Repeat([]byte{byte('A' + i)}, 100*1024)
+		if err := fs.WriteFile(path, seg, 0); err != nil {
+			log.Fatal(err)
+		}
+		sys.Pump()
+	}
+	st := sys.Stats()
+	fmt.Printf("wrote config + 8 × 100 KiB segments: %d dirty pages, %d proactive cleans\n",
+		sys.DirtyCount(), st.ProactiveCleans)
+
+	fmt.Println("\n*** power failure ***")
+	report := sys.SimulatePowerFailure()
+	fmt.Printf("flushed %d pages in %v — survived: %v\n",
+		report.PagesFlushed, report.FlushTime, report.Survived)
+
+	recovered, rr, err := sys.Recover()
+	if err != nil {
+		log.Fatal(err)
+	}
+	m2, err := recovered.Map("volume-a", 16<<20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fs2, err := nvfs.Open(m2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nremounted in %v; tree:\n", rr.RestoreTime)
+	for _, dir := range []string{"/", "/etc", "/var", "/var/db"} {
+		entries, err := fs2.ReadDir(dir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, e := range entries {
+			kind := "file"
+			if e.IsDir {
+				kind = "dir "
+			}
+			path := dir + "/" + e.Name
+			if dir == "/" {
+				path = "/" + e.Name
+			}
+			fmt.Printf("  %s %-24s %7d bytes\n", kind, path, e.Size)
+		}
+	}
+	conf := make([]byte, 20)
+	if err := fs2.ReadFile("/etc/service.conf", conf, 0); err != nil {
+		log.Fatal(err)
+	}
+	seg := make([]byte, 100*1024)
+	if err := fs2.ReadFile("/var/db/segment-3", seg, 0); err != nil {
+		log.Fatal(err)
+	}
+	if !bytes.Equal(seg, bytes.Repeat([]byte{'D'}, 100*1024)) {
+		log.Fatal("segment contents corrupted")
+	}
+	fmt.Printf("\nconfig reads back: %q — volume fully intact\n", conf)
+}

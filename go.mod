@@ -1,0 +1,3 @@
+module viyojit
+
+go 1.22

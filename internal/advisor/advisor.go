@@ -1,0 +1,231 @@
+// Package advisor turns §3-style trace analysis into a provisioning
+// recommendation: how much dirty budget — and therefore how much battery
+// — a volume actually needs. It operationalises the paper's workflow
+// ("potentially determined using an analysis of the expected workloads
+// similar to the one in Section 3", §5) for data-center operators.
+//
+// The recommendation works from two §3 measurements:
+//
+//   - the worst-interval written fraction (how much can get dirty within
+//     one proactive-cleaning horizon), and
+//   - the write-skew coverage (how many pages hold the target percentile
+//     of writes — the set Viyojit will keep dirty at steady state).
+//
+// The budget must cover whichever is larger, plus headroom for the burst
+// the EWMA threshold absorbs.
+package advisor
+
+import (
+	"fmt"
+
+	"viyojit/internal/battery"
+	"viyojit/internal/power"
+	"viyojit/internal/trace"
+)
+
+// Recommendation is the advisor's output for one volume.
+type Recommendation struct {
+	Volume string
+	// BudgetPages is the recommended dirty budget.
+	BudgetPages int
+	// BudgetFraction is BudgetPages over the volume's total pages.
+	BudgetFraction float64
+	// Battery is a provisioned-battery configuration whose effective
+	// energy covers the budget (with the configured deratings).
+	Battery battery.Config
+	// Drivers of the recommendation, for the operator's understanding:
+	WorstHourPages int     // pages dirtied in the worst hour (burst bound)
+	HotSetPages    int     // pages covering the target write percentile
+	Headroom       float64 // multiplicative safety margin applied
+	// Category classifies the volume per §3: "skewed-light",
+	// "skewed-heavy", "unique-light", or "unique-heavy". The paper's
+	// guidance: decoupling pays off least for "unique-heavy".
+	Category string
+	// WorthIt is false for §3's fourth category, where the budget
+	// approaches the full capacity and decoupling buys little.
+	WorthIt bool
+}
+
+// Options tunes the advisor.
+type Options struct {
+	// Percentile of writes the steady-state dirty set should cover;
+	// 0 selects 0.99.
+	Percentile float64
+	// Headroom is the multiplicative safety margin; 0 selects 1.25.
+	Headroom float64
+	// SSDWriteBandwidth and DoD/Derating feed the battery conversion;
+	// zeros select 2 GB/s and battery defaults.
+	SSDWriteBandwidth int64
+	DepthOfDischarge  float64
+	Derating          float64
+	// Power is the flush power model; zero selects power.Default().
+	Power power.Model
+}
+
+func (o Options) withDefaults() Options {
+	if o.Percentile == 0 {
+		o.Percentile = 0.99
+	}
+	if o.Headroom == 0 {
+		o.Headroom = 1.25
+	}
+	if o.SSDWriteBandwidth == 0 {
+		o.SSDWriteBandwidth = 2 << 30
+	}
+	if o.Power == (power.Model{}) {
+		o.Power = power.Default()
+	}
+	return o
+}
+
+// classify assigns §3's category from the measured fractions. Skew is
+// judged against the pages *touched* (Fig 3's denominator): unique-write
+// volumes need ~all touched pages even at the 90th percentile, while
+// skewed ones concentrate.
+func classify(writtenFraction, touchedCoverage float64) (string, bool) {
+	heavy := writtenFraction > 0.30
+	skewed := touchedCoverage < 0.50
+	switch {
+	case !heavy && skewed:
+		return "skewed-light", true // §3 category 2: the best case
+	case heavy && skewed:
+		return "skewed-heavy", true // category 3
+	case !heavy && !skewed:
+		return "unique-light", true // category 1
+	default:
+		return "unique-heavy", false // category 4: decoupling buys little
+	}
+}
+
+// Analyze recommends a budget and battery for one volume trace.
+func Analyze(v *trace.Volume, opts Options) (Recommendation, error) {
+	if v == nil || len(v.Events) == 0 {
+		return Recommendation{}, fmt.Errorf("advisor: empty volume trace")
+	}
+	opts = opts.withDefaults()
+	if opts.Percentile <= 0 || opts.Percentile > 1 {
+		return Recommendation{}, fmt.Errorf("advisor: percentile %v outside (0,1]", opts.Percentile)
+	}
+	if opts.Headroom < 1 {
+		return Recommendation{}, fmt.Errorf("advisor: headroom %v below 1", opts.Headroom)
+	}
+
+	pageSize := v.Spec.PageSize
+	totalPages := v.TotalPages()
+
+	// Burst bound: the worst hour's unique-page writes (the paper's
+	// conservative one-write-one-page assumption).
+	writtenFrac := v.WorstIntervalWrittenFraction(trace.Hour)
+	worstHourPages := int(writtenFrac * float64(totalPages))
+
+	// Steady-state bound: the hot set covering the target percentile
+	// (absolute pages, Fig 4's denominator).
+	coverageFrac := v.SkewTotal([]float64{opts.Percentile})[0]
+	hotSetPages := int(coverageFrac * float64(totalPages))
+	// Skew classification uses the touched-pages denominator (Fig 3).
+	touchedCoverage := v.SkewTouched([]float64{opts.Percentile})[0]
+
+	need := worstHourPages
+	if hotSetPages > need {
+		need = hotSetPages
+	}
+	budget := int(float64(need) * opts.Headroom)
+	if budget < 1 {
+		budget = 1
+	}
+	if budget > int(totalPages) {
+		budget = int(totalPages)
+	}
+
+	category, worth := classify(writtenFrac, touchedCoverage)
+	cfg := battery.ProvisionFor(
+		opts.Power,
+		int64(budget)*int64(pageSize),
+		opts.SSDWriteBandwidth,
+		v.Spec.SizeBytes,
+		opts.DepthOfDischarge,
+		opts.Derating,
+	)
+	return Recommendation{
+		Volume:         v.Spec.Name,
+		BudgetPages:    budget,
+		BudgetFraction: float64(budget) / float64(totalPages),
+		Battery:        cfg,
+		WorstHourPages: worstHourPages,
+		HotSetPages:    hotSetPages,
+		Headroom:       opts.Headroom,
+		Category:       category,
+		WorthIt:        worth,
+	}, nil
+}
+
+// AnalyzeApplication recommends per volume and returns the machine-level
+// aggregate (the sum of per-volume budgets, which one shared battery must
+// cover).
+func AnalyzeApplication(app trace.Application, opts Options) ([]Recommendation, Recommendation, error) {
+	if len(app.Volumes) == 0 {
+		return nil, Recommendation{}, fmt.Errorf("advisor: application %q has no volumes", app.Name)
+	}
+	var recs []Recommendation
+	var totalBudget int
+	var totalPages int64
+	var totalBytes int64
+	worthAny := false
+	for _, v := range app.Volumes {
+		r, err := Analyze(v, opts)
+		if err != nil {
+			return nil, Recommendation{}, fmt.Errorf("advisor: volume %s: %w", v.Spec.Name, err)
+		}
+		recs = append(recs, r)
+		totalBudget += r.BudgetPages
+		totalPages += v.TotalPages()
+		totalBytes += v.Spec.SizeBytes
+		worthAny = worthAny || r.WorthIt
+	}
+	opts = opts.withDefaults()
+	pageSize := app.Volumes[0].Spec.PageSize
+	if pageSize == 0 {
+		pageSize = 4096
+	}
+	agg := Recommendation{
+		Volume:         app.Name + " (machine total)",
+		BudgetPages:    totalBudget,
+		BudgetFraction: float64(totalBudget) / float64(totalPages),
+		Battery: battery.ProvisionFor(
+			opts.Power,
+			int64(totalBudget)*int64(pageSize),
+			opts.SSDWriteBandwidth,
+			totalBytes,
+			opts.DepthOfDischarge,
+			opts.Derating,
+		),
+		Headroom: opts.Headroom,
+		WorthIt:  worthAny,
+		Category: "aggregate",
+	}
+	return recs, agg, nil
+}
+
+// FullBatteryJoules returns the nameplate a non-Viyojit deployment needs
+// for the same volume (flush everything), for the savings comparison.
+func FullBatteryJoules(v *trace.Volume, opts Options) float64 {
+	opts = opts.withDefaults()
+	return battery.ProvisionFor(
+		opts.Power, v.Spec.SizeBytes, opts.SSDWriteBandwidth, v.Spec.SizeBytes,
+		opts.DepthOfDischarge, opts.Derating,
+	).CapacityJoules
+}
+
+// Savings returns 1 − recommended/full nameplate: the battery fraction
+// Viyojit eliminates for this volume.
+func Savings(r Recommendation, v *trace.Volume, opts Options) float64 {
+	full := FullBatteryJoules(v, opts)
+	if full <= 0 {
+		return 0
+	}
+	s := 1 - r.Battery.CapacityJoules/full
+	if s < 0 {
+		return 0
+	}
+	return s
+}

@@ -1,0 +1,145 @@
+package baseline
+
+import (
+	"bytes"
+	"testing"
+
+	"viyojit/internal/nvdram"
+	"viyojit/internal/power"
+	"viyojit/internal/sim"
+	"viyojit/internal/ssd"
+)
+
+func newBaseline(t testing.TB, pages int) (*Manager, *sim.Clock) {
+	t.Helper()
+	clock := sim.NewClock()
+	events := sim.NewQueue()
+	region, err := nvdram.New(clock, nvdram.Config{Size: int64(pages) * 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := ssd.New(clock, events, ssd.Config{})
+	m, err := NewManager(clock, events, region, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, clock
+}
+
+func TestNoFaultsEver(t *testing.T) {
+	m, _ := newBaseline(t, 16)
+	mp, err := m.Map("heap", 8*4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := mp.WriteAt([]byte{byte(i)}, int64(i%8)*4096); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.Region().PageTable().Stats().Faults; got != 0 {
+		t.Fatalf("baseline took %d faults, want 0", got)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	m, _ := newBaseline(t, 8)
+	mp, _ := m.Map("m", 2*4096)
+	data := []byte("no battery limits here")
+	if err := mp.WriteAt(data, 123); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := mp.ReadAt(got, 123); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestBoundsChecked(t *testing.T) {
+	m, _ := newBaseline(t, 8)
+	mp, _ := m.Map("m", 4096)
+	if err := mp.WriteAt([]byte{1}, 4096); err == nil {
+		t.Fatal("out-of-range write succeeded")
+	}
+	if err := mp.ReadAt(make([]byte, 1), -1); err == nil {
+		t.Fatal("negative read succeeded")
+	}
+	if _, err := m.Map("too-big", 100*4096); err == nil {
+		t.Fatal("oversized map succeeded")
+	}
+	if _, err := m.Map("zero", 0); err == nil {
+		t.Fatal("zero map succeeded")
+	}
+}
+
+func TestDirtyCountGrowsUnbounded(t *testing.T) {
+	m, _ := newBaseline(t, 64)
+	mp, _ := m.Map("m", 64*4096)
+	for p := 0; p < 64; p++ {
+		if err := mp.WriteAt([]byte{1}, int64(p)*4096); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The baseline has no budget: all 64 pages are pending flush.
+	if m.DirtyCount() != 64 {
+		t.Fatalf("dirty count = %d, want 64", m.DirtyCount())
+	}
+}
+
+func TestPowerFailFlushesEverything(t *testing.T) {
+	m, _ := newBaseline(t, 32)
+	mp, _ := m.Map("m", 32*4096)
+	for p := 0; p < 20; p++ {
+		if err := mp.WriteAt([]byte{byte(p + 1)}, int64(p)*4096); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pm := power.Default()
+	full := m.FullBatteryJoules(pm) * 10 // generous full battery
+	report := m.PowerFail(pm, full)
+	if report.PagesFlushed != 20 {
+		t.Fatalf("flushed %d pages, want 20", report.PagesFlushed)
+	}
+	if !report.Survived {
+		t.Fatal("full battery flush did not survive")
+	}
+	if err := m.VerifyDurability(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerFailWithSmallBatteryFails(t *testing.T) {
+	m, _ := newBaseline(t, 32)
+	mp, _ := m.Map("m", 32*4096)
+	for p := 0; p < 32; p++ {
+		if err := mp.WriteAt([]byte{1}, int64(p)*4096); err != nil {
+			t.Fatal(err)
+		}
+	}
+	report := m.PowerFail(power.Default(), 1e-12)
+	if report.Survived {
+		t.Fatal("tiny battery reported survival — the baseline needs a full battery")
+	}
+}
+
+func TestFullBatteryScalesWithRegion(t *testing.T) {
+	small, _ := newBaseline(t, 16)
+	large, _ := newBaseline(t, 256)
+	pm := power.Default()
+	if large.FullBatteryJoules(pm) <= small.FullBatteryJoules(pm) {
+		t.Fatal("full-battery energy did not scale with DRAM capacity")
+	}
+}
+
+func TestPageSizeMismatchRejected(t *testing.T) {
+	clock := sim.NewClock()
+	events := sim.NewQueue()
+	region, _ := nvdram.New(clock, nvdram.Config{Size: 4 * 4096})
+	dev := ssd.New(clock, events, ssd.Config{PageSize: 8192})
+	if _, err := NewManager(clock, events, region, dev); err == nil {
+		t.Fatal("mismatched page sizes accepted")
+	}
+}

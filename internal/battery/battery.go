@@ -1,0 +1,162 @@
+// Package battery models the server-integrated Li-ion battery that makes
+// DRAM non-volatile, including the real-world deratings §2.2 of the paper
+// enumerates: depth-of-discharge limits for lifetime, ageing, and ambient
+// derating. It converts a provisioned battery into a dirty budget — the
+// number of pages that may be dirty in NV-DRAM at once — via the power
+// model, and supports runtime capacity changes (battery cell failures,
+// §8) so the budget can be retuned without stopping the server.
+package battery
+
+import (
+	"fmt"
+
+	"viyojit/internal/power"
+)
+
+// Config describes a provisioned battery.
+type Config struct {
+	// CapacityJoules is the nameplate capacity.
+	CapacityJoules float64
+	// DepthOfDischarge is the usable fraction per discharge cycle.
+	// Datacenter batteries are typically not discharged below 50 % so
+	// they last 3–4 years (paper §2.2); 0 selects 0.5.
+	DepthOfDischarge float64
+	// Derating is a further multiplicative usable fraction covering
+	// ageing, temperature, and humidity variation. 0 selects 1.0 (new
+	// battery, nominal conditions).
+	Derating float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.DepthOfDischarge == 0 {
+		c.DepthOfDischarge = 0.5
+	}
+	if c.Derating == 0 {
+		c.Derating = 1.0
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.CapacityJoules <= 0 {
+		return fmt.Errorf("battery: capacity %v J must be positive", c.CapacityJoules)
+	}
+	if c.DepthOfDischarge <= 0 || c.DepthOfDischarge > 1 {
+		return fmt.Errorf("battery: depth of discharge %v outside (0,1]", c.DepthOfDischarge)
+	}
+	if c.Derating <= 0 || c.Derating > 1 {
+		return fmt.Errorf("battery: derating %v outside (0,1]", c.Derating)
+	}
+	return nil
+}
+
+// Battery is a provisioned battery whose effective capacity can change at
+// runtime. It is not safe for concurrent use.
+type Battery struct {
+	cfg       Config
+	nameplate float64 // current nameplate capacity (declines with ageing)
+	onChange  []func(*Battery)
+}
+
+// New creates a battery from cfg.
+func New(cfg Config) (*Battery, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Battery{cfg: cfg, nameplate: cfg.CapacityJoules}, nil
+}
+
+// MustNew is New that panics on error, for tests and examples with
+// literal configurations.
+func MustNew(cfg Config) *Battery {
+	b, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// NameplateJoules returns the current (possibly aged) nameplate capacity.
+func (b *Battery) NameplateJoules() float64 { return b.nameplate }
+
+// EffectiveJoules returns the energy actually available for a backup
+// flush after depth-of-discharge and derating.
+func (b *Battery) EffectiveJoules() float64 {
+	return b.nameplate * b.cfg.DepthOfDischarge * b.cfg.Derating
+}
+
+// OnChange registers a callback invoked after any capacity change. The
+// Viyojit manager uses it to retune the dirty budget at runtime (§8).
+func (b *Battery) OnChange(fn func(*Battery)) {
+	b.onChange = append(b.onChange, fn)
+}
+
+func (b *Battery) notify() {
+	for _, fn := range b.onChange {
+		fn(b)
+	}
+}
+
+// SetCapacityJoules replaces the nameplate capacity — modelling cell
+// failures, replacement, or capacity reallocation between co-located
+// tenants — and notifies observers. Non-positive capacities are rejected.
+func (b *Battery) SetCapacityJoules(j float64) error {
+	if j <= 0 {
+		return fmt.Errorf("battery: capacity %v J must be positive", j)
+	}
+	b.nameplate = j
+	b.notify()
+	return nil
+}
+
+// Age reduces the nameplate capacity by the given fraction (0 ≤ f < 1)
+// and notifies observers.
+func (b *Battery) Age(fraction float64) error {
+	if fraction < 0 || fraction >= 1 {
+		return fmt.Errorf("battery: ageing fraction %v outside [0,1)", fraction)
+	}
+	b.nameplate *= 1 - fraction
+	b.notify()
+	return nil
+}
+
+// DirtyBudgetPages converts the battery's effective energy into the
+// maximum number of pages that may be dirty at once (paper §5.1): the
+// energy sustains the server for effective/watts seconds, during which a
+// conservative writeBandwidth drains bytes to the SSD.
+//
+// dramBytes is the total NV-DRAM installed (it sets the flush-time power
+// draw), pageSize the tracking granularity.
+func (b *Battery) DirtyBudgetPages(m power.Model, writeBandwidth, dramBytes int64, pageSize int) int {
+	bytes := m.SustainableBytes(b.EffectiveJoules(), writeBandwidth, dramBytes)
+	if bytes <= 0 {
+		return 0
+	}
+	return int(bytes / int64(pageSize))
+}
+
+// JoulesForPages returns the effective energy required to flush nPages —
+// the inverse of DirtyBudgetPages, used for provisioning: "how much
+// battery do I need for this budget?".
+func JoulesForPages(m power.Model, nPages int, writeBandwidth, dramBytes int64, pageSize int) float64 {
+	return m.FlushEnergyJoules(int64(nPages)*int64(pageSize), writeBandwidth, dramBytes)
+}
+
+// ProvisionFor returns a battery Config whose *effective* capacity (after
+// depth-of-discharge dod and derating) covers flushing flushBytes. It is
+// the sizing helper behind cmd/battery-calc.
+func ProvisionFor(m power.Model, flushBytes, writeBandwidth, dramBytes int64, dod, derating float64) Config {
+	if dod == 0 {
+		dod = 0.5
+	}
+	if derating == 0 {
+		derating = 1.0
+	}
+	needed := m.FlushEnergyJoules(flushBytes, writeBandwidth, dramBytes)
+	return Config{
+		CapacityJoules:   needed / (dod * derating),
+		DepthOfDischarge: dod,
+		Derating:         derating,
+	}
+}

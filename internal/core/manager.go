@@ -1,0 +1,621 @@
+// Package core implements the paper's primary contribution: the Viyojit
+// manager, which presents battery-backed DRAM whose full capacity is
+// durable while only a bounded number of pages — the dirty budget derived
+// from the provisioned battery — is ever dirty.
+//
+// The mechanism follows §5 of the paper:
+//
+//  1. At startup every NV-DRAM page is write-protected.
+//  2. A write to a protected page traps; the fault handler counts the page
+//     into the dirty set and unprotects it so subsequent writes proceed at
+//     DRAM speed.
+//  3. If the dirty set is at the budget, the handler first cleans a victim
+//     (re-protect → copy to SSD → remove from the dirty set) before
+//     admitting the new page, so the bound holds at every instant.
+//  4. An epoch timer (1 ms default) walks the page table, reading and
+//     clearing hardware dirty bits (flushing the TLB first so the bits are
+//     fresh), maintains a 64-epoch per-page update history, estimates the
+//     dirty-page pressure with an exponentially decaying average, and
+//     proactively cleans least-recently-updated pages down to
+//     budget − pressure so bursts don't block on the SSD.
+package core
+
+import (
+	"fmt"
+
+	"viyojit/internal/mmu"
+	"viyojit/internal/nvdram"
+	"viyojit/internal/sim"
+	"viyojit/internal/ssd"
+)
+
+// Config tunes the manager. The zero value of optional fields selects the
+// paper's settings.
+type Config struct {
+	// DirtyBudgetPages is the hard bound on simultaneously dirty pages.
+	// It must be at least 1. Derive it from a battery with
+	// battery.DirtyBudgetPages.
+	DirtyBudgetPages int
+	// Epoch is the dirty-bit scan period; 0 selects 1 ms (paper §6.1).
+	Epoch sim.Duration
+	// EWMAWeight is the weight on the current epoch's new-dirty count in
+	// the pressure estimate; 0 selects 0.75 (paper §5.3).
+	EWMAWeight float64
+	// TLBFlushOnScan controls whether epoch scans flush the TLB for
+	// precise dirty bits. The paper's system does (§5.2); disabling it is
+	// the §6.3 ablation. Use the DisableTLBFlush field to turn it off.
+	DisableTLBFlush bool
+	// Policy selects victims for cleaning; nil selects LRUUpdate.
+	Policy VictimPolicy
+	// SampleEvery records a (time, dirty count, pressure) sample at that
+	// period for observability; 0 disables sampling. Samples are kept in
+	// a bounded ring (the most recent MaxSamples).
+	SampleEvery sim.Duration
+	// HardwareAssist selects the §5.4 MMU-offload design: no page is
+	// ever write-protected; instead the MMU signals the manager when a
+	// write sets a clear dirty bit, so the common-case first write to a
+	// page carries no trap cost. Only the at-budget case pays an
+	// interrupt (the store stalls until a victim is cleaned). The paper
+	// proposes this to eradicate the software implementation's tail
+	// latency; the ablation benchmarks compare both modes.
+	HardwareAssist bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Epoch == 0 {
+		c.Epoch = sim.Millisecond
+	}
+	if c.EWMAWeight == 0 {
+		c.EWMAWeight = 0.75
+	}
+	if c.Policy == nil {
+		c.Policy = LRUUpdate{}
+	}
+	return c
+}
+
+// Stats counts manager activity since construction.
+type Stats struct {
+	Faults           uint64 // write-protection traps taken
+	PagesDirtied     uint64 // admissions to the dirty set
+	ForcedCleans     uint64 // synchronous cleans on the fault path (budget hit)
+	ProactiveCleans  uint64 // background cleans initiated by the epoch task
+	UnmapCleans      uint64 // cleans forced by Unmap
+	RetuneCleans     uint64 // cleans forced by a budget decrease
+	CleansCompleted  uint64 // SSD write-backs that finished
+	Epochs           uint64
+	SkippedEpochs    uint64 // reentrant ticks skipped under overload
+	MaxDirtyObserved int
+	FaultWaitTotal   sim.Duration // time fault handlers spent waiting on cleans
+}
+
+// Manager is the Viyojit dirty-budget manager for one NV-DRAM region. It
+// is not safe for concurrent use; the simulation is single-goroutine.
+type Manager struct {
+	clock  *sim.Clock
+	events *sim.Queue
+	region *nvdram.Region
+	dev    *ssd.SSD
+	cfg    Config
+
+	budget int
+
+	// dirty holds every page whose latest contents are not yet durable,
+	// including pages re-protected and in flight to the SSD. Its size is
+	// the quantity the battery must cover and never exceeds budget.
+	dirty    map[mmu.PageID]*dirtyPage
+	dirtySeq uint64
+
+	// history is the per-page 64-epoch aging word (see PageInfo.History).
+	// Aging is applied lazily: histEpoch records the epoch index at
+	// which history[p] was last brought current, and ageHistory shifts
+	// by the elapsed delta on demand. This keeps each epoch tick O(dirty
+	// set) instead of O(region pages) — only dirty pages can be victims,
+	// so only their histories need to be current.
+	history    []uint64
+	histEpoch  []uint64
+	epochIndex uint64
+
+	// victimQueue is the policy-ordered list of clean candidates, rebuilt
+	// each epoch; entries are skipped lazily if their page is no longer
+	// eligible.
+	victimQueue []PageInfo
+	victimPos   int
+
+	newDirtyThisEpoch int
+	pressure          float64
+	inEpoch           bool
+	closed            bool
+	epochEvent        *sim.Event
+	scanBuf           []mmu.PageID
+	dirtyPagesBuf     []mmu.PageID
+
+	// mmap-like allocator state (mapping.go).
+	mappings  []*Mapping
+	free      []freeRange
+	allocInit bool
+
+	samples     []Sample
+	sampleEvent *sim.Event
+
+	stats Stats
+}
+
+// Sample is one observability data point (see Config.SampleEvery).
+type Sample struct {
+	At       sim.Time
+	Dirty    int
+	Pressure float64
+}
+
+// MaxSamples bounds the sampling ring.
+const MaxSamples = 4096
+
+// dirtyPage is the tracked state of one dirty page.
+type dirtyPage struct {
+	seq      uint64
+	cleaning bool // SSD write in flight (page re-protected in SW mode)
+	// rewritten marks a hardware-assist page written again after its
+	// clean's snapshot was taken: the completing IO must not mark it
+	// clean.
+	rewritten bool
+}
+
+// NewManager wires a manager onto a region and backing device sharing one
+// clock and event queue, write-protects every page (paper step 1), and
+// starts the epoch task.
+func NewManager(clock *sim.Clock, events *sim.Queue, region *nvdram.Region, dev *ssd.SSD, cfg Config) (*Manager, error) {
+	cfg = cfg.withDefaults()
+	if cfg.DirtyBudgetPages < 1 {
+		return nil, fmt.Errorf("core: dirty budget %d pages; need at least 1", cfg.DirtyBudgetPages)
+	}
+	if dev.Config().PageSize != region.PageSize() {
+		return nil, fmt.Errorf("core: SSD page size %d != region page size %d", dev.Config().PageSize, region.PageSize())
+	}
+	if cfg.EWMAWeight < 0 || cfg.EWMAWeight > 1 {
+		return nil, fmt.Errorf("core: EWMA weight %v outside [0,1]", cfg.EWMAWeight)
+	}
+	m := &Manager{
+		clock:     clock,
+		events:    events,
+		region:    region,
+		dev:       dev,
+		cfg:       cfg,
+		budget:    cfg.DirtyBudgetPages,
+		dirty:     make(map[mmu.PageID]*dirtyPage),
+		history:   make([]uint64, region.NumPages()),
+		histEpoch: make([]uint64, region.NumPages()),
+	}
+	pt := region.PageTable()
+	if cfg.HardwareAssist {
+		// §5.4: the MMU counts dirty transitions itself; no protection,
+		// no startup cost, no first-write traps.
+		pt.SetDirtyNotifier(m.handleDirtyNotify)
+	} else {
+		pt.SetFaultHandler(m.handleFault)
+		for p := 0; p < region.NumPages(); p++ {
+			pt.Protect(mmu.PageID(p))
+		}
+	}
+	m.scheduleEpoch()
+	if cfg.SampleEvery > 0 {
+		m.scheduleSample(clock.Now().Add(cfg.SampleEvery))
+	}
+	return m, nil
+}
+
+// scheduleSample arms the next observability sample.
+func (m *Manager) scheduleSample(at sim.Time) {
+	m.sampleEvent = m.events.Schedule(at, func(t sim.Time) {
+		if m.closed {
+			return
+		}
+		m.samples = append(m.samples, Sample{At: t, Dirty: len(m.dirty), Pressure: m.pressure})
+		if len(m.samples) > MaxSamples {
+			m.samples = m.samples[len(m.samples)-MaxSamples:]
+		}
+		m.scheduleSample(t.Add(m.cfg.SampleEvery))
+	})
+}
+
+// Samples returns the recorded observability ring (most recent
+// MaxSamples), oldest first.
+func (m *Manager) Samples() []Sample {
+	out := make([]Sample, len(m.samples))
+	copy(out, m.samples)
+	return out
+}
+
+// Region returns the managed NV-DRAM region.
+func (m *Manager) Region() *nvdram.Region { return m.region }
+
+// SSD returns the backing device.
+func (m *Manager) SSD() *ssd.SSD { return m.dev }
+
+// Stats returns a snapshot of the counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// Config returns the effective configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// DirtyCount returns the current size of the dirty set (including pages
+// in flight to the SSD, whose latest contents are not yet durable).
+func (m *Manager) DirtyCount() int { return len(m.dirty) }
+
+// DirtyBudget returns the current budget in pages.
+func (m *Manager) DirtyBudget() int { return m.budget }
+
+// Pressure returns the current dirty-page-pressure estimate (expected new
+// dirty pages next epoch).
+func (m *Manager) Pressure() float64 { return m.pressure }
+
+// Pump delivers any events due at or before the current virtual time
+// (epoch ticks, IO completions). Workload drivers call it after each
+// operation so background activity interleaves with foreground work.
+func (m *Manager) Pump() { m.events.RunUntil(m.clock, m.clock.Now()) }
+
+// Close stops the epoch task and waits for in-flight cleans to complete.
+// The dirty set is left as is: Close models detaching the manager, not a
+// clean shutdown (use FlushAll for that).
+func (m *Manager) Close() {
+	if m.closed {
+		return
+	}
+	m.closed = true
+	m.events.Cancel(m.epochEvent)
+	m.events.Cancel(m.sampleEvent)
+	m.dev.WaitIdle()
+}
+
+// scheduleEpoch arms the first epoch tick.
+func (m *Manager) scheduleEpoch() {
+	m.scheduleEpochAt(m.clock.Now().Add(m.cfg.Epoch))
+}
+
+// scheduleEpochAt arms an epoch tick at an absolute time. Ticks chain off
+// their *scheduled* time, not the (possibly far ahead) clock, so a driver
+// that advances the clock in large steps still observes one tick per
+// epoch when it pumps events.
+func (m *Manager) scheduleEpochAt(at sim.Time) {
+	m.epochEvent = m.events.Schedule(at, m.epochTick)
+}
+
+// handleFault is the write-protection fault handler (flowchart steps 3–8).
+func (m *Manager) handleFault(page mmu.PageID) {
+	m.stats.Faults++
+	waitStart := m.clock.Now()
+
+	// A fault on a page that is mid-clean means the application wrote to
+	// a page whose SSD copy-out is in flight. The page was re-protected
+	// before the copy started precisely so this write traps (paper §5.1);
+	// wait for the IO to complete, after which the page is clean and the
+	// fault proceeds as a fresh dirtying.
+	if dp, ok := m.dirty[page]; ok {
+		if !dp.cleaning {
+			// The page is dirty and unprotected; a fault here means the
+			// protection state and dirty set disagree.
+			panic(fmt.Sprintf("core: fault on dirty, unprotected page %d", page))
+		}
+		for {
+			if cur, still := m.dirty[page]; !still || cur != dp {
+				break
+			}
+			if !m.events.Step(m.clock) {
+				panic("core: waiting for in-flight clean with no pending events")
+			}
+		}
+	}
+
+	// Enforce the budget: admitting this page must not exceed it.
+	for len(m.dirty) >= m.budget {
+		m.stats.ForcedCleans++
+		if !m.cleanOneSync() {
+			panic(fmt.Sprintf("core: dirty set %d at budget %d with no cleanable victim", len(m.dirty), m.budget))
+		}
+	}
+	m.stats.FaultWaitTotal += m.clock.Now().Sub(waitStart)
+
+	// Admit the page (step 8): unprotect, count, record. Update recency
+	// is NOT marked here: the paper's system learns recency only from
+	// the epoch walks (§5.2), and the post-fault write sets the PTE
+	// dirty bit that the next walk observes. (This is also what makes
+	// the §6.3 TLB ablation bite: without flushes the walk misses
+	// re-updates and hot pages look cold.)
+	m.region.PageTable().Unprotect(page)
+	m.dirtySeq++
+	m.dirty[page] = &dirtyPage{seq: m.dirtySeq}
+	m.ageHistory(page) // bring the page's decayed history current
+	m.newDirtyThisEpoch++
+	m.stats.PagesDirtied++
+	if len(m.dirty) > m.stats.MaxDirtyObserved {
+		m.stats.MaxDirtyObserved = len(m.dirty)
+	}
+	m.checkInvariant()
+}
+
+// ageHistory applies the epochs of decay that have accrued since page's
+// history was last brought current.
+func (m *Manager) ageHistory(page mmu.PageID) {
+	delta := m.epochIndex - m.histEpoch[page]
+	if delta >= 64 {
+		m.history[page] = 0
+	} else {
+		m.history[page] >>= delta
+	}
+	m.histEpoch[page] = m.epochIndex
+}
+
+// handleDirtyNotify is the §5.4 hardware path: the MMU signals that a
+// write set a clear dirty bit. The store is modelled as stalling until
+// this handler returns, so budget enforcement here is as strict as the
+// software fault path — but the common case (budget slack available) is
+// nearly free.
+func (m *Manager) handleDirtyNotify(page mmu.PageID) {
+	if dp, ok := m.dirty[page]; ok {
+		// Already tracked. A notification for a tracked page means its
+		// dirty bit had been cleared — by an epoch scan (nothing to do)
+		// or by an in-progress clean's snapshot (the copy is stale).
+		if dp.cleaning {
+			dp.rewritten = true
+		}
+		return
+	}
+	waitStart := m.clock.Now()
+	for len(m.dirty) >= m.budget {
+		// The at-budget case pays the interrupt the §5.4 MMU raises.
+		m.stats.Faults++
+		m.clock.Advance(hwInterruptCost)
+		m.stats.ForcedCleans++
+		if !m.cleanOneSync() {
+			panic(fmt.Sprintf("core: dirty set %d at budget %d with no cleanable victim", len(m.dirty), m.budget))
+		}
+	}
+	m.stats.FaultWaitTotal += m.clock.Now().Sub(waitStart)
+
+	m.dirtySeq++
+	m.dirty[page] = &dirtyPage{seq: m.dirtySeq}
+	m.ageHistory(page)
+	m.newDirtyThisEpoch++
+	m.stats.PagesDirtied++
+	if len(m.dirty) > m.stats.MaxDirtyObserved {
+		m.stats.MaxDirtyObserved = len(m.dirty)
+	}
+	m.checkInvariant()
+}
+
+// hwInterruptCost is the price of the §5.4 at-budget interrupt: cheaper
+// than a full write-protection trap (no protection change, no TLB
+// invalidation, no retry) but not free.
+const hwInterruptCost = 2 * sim.Microsecond
+
+// nextVictim returns the next eligible victim page from the policy-ordered
+// queue, or false if none is eligible (all dirty pages already cleaning).
+func (m *Manager) nextVictim() (mmu.PageID, bool) {
+	for m.victimPos < len(m.victimQueue) {
+		cand := m.victimQueue[m.victimPos]
+		m.victimPos++
+		if dp, ok := m.dirty[cand.Page]; ok && !dp.cleaning && dp.seq == cand.DirtiedSeq {
+			return cand.Page, true
+		}
+	}
+	// Queue exhausted (or stale mid-epoch): rebuild from the live dirty
+	// set so the fault path can always find a victim.
+	m.rebuildVictimQueue()
+	for m.victimPos < len(m.victimQueue) {
+		cand := m.victimQueue[m.victimPos]
+		m.victimPos++
+		if dp, ok := m.dirty[cand.Page]; ok && !dp.cleaning && dp.seq == cand.DirtiedSeq {
+			return cand.Page, true
+		}
+	}
+	return 0, false
+}
+
+// rebuildVictimQueue re-sorts the live, not-in-flight dirty pages with the
+// configured policy.
+func (m *Manager) rebuildVictimQueue() {
+	m.victimQueue = m.victimQueue[:0]
+	for page, dp := range m.dirty {
+		if dp.cleaning {
+			continue
+		}
+		m.victimQueue = append(m.victimQueue, PageInfo{Page: page, History: m.history[page], DirtiedSeq: dp.seq})
+	}
+	m.cfg.Policy.Order(m.victimQueue)
+	m.victimPos = 0
+}
+
+// startClean re-protects page and submits its contents to the SSD. The
+// page stays in the dirty set (its latest contents are not durable) until
+// the IO completes. Returns false if no victim was available.
+func (m *Manager) startClean(page mmu.PageID) {
+	dp := m.dirty[page]
+	dp.cleaning = true
+	pt := m.region.PageTable()
+	if m.cfg.HardwareAssist {
+		// §5.4: no protection exists. Clear the dirty bit (re-arming the
+		// MMU's transition signal) so a write after this snapshot marks
+		// the entry rewritten and the completion below keeps it dirty.
+		pt.ClearDirty(page)
+	} else {
+		// Re-protect BEFORE copying so a concurrent write cannot slip
+		// into the copied image and then be lost when the page is marked
+		// clean (paper §5.1 step 6).
+		pt.Protect(page)
+	}
+	data := m.region.PageData(page)
+	m.dev.WritePageAsync(page, data, func(sim.Time) {
+		m.stats.CleansCompleted++
+		// If the entry was replaced (page re-dirtied after a waiter saw
+		// this clean complete), leave the new entry alone.
+		cur, ok := m.dirty[page]
+		if !ok || cur != dp {
+			return
+		}
+		if dp.rewritten {
+			// Hardware assist: the page was written after the snapshot;
+			// the durable copy is stale, so the page stays dirty and
+			// becomes cleanable again.
+			dp.cleaning = false
+			dp.rewritten = false
+			return
+		}
+		// The snapshot's contents are now durable.
+		delete(m.dirty, page)
+		pt.ClearDirty(page)
+	})
+}
+
+// cleanOneSync cleans one victim synchronously: it virtually blocks until
+// the dirty set shrinks, (re)starting cleans as needed. Re-selection
+// matters in hardware-assist mode: an in-flight clean of a page that was
+// rewritten after its snapshot completes WITHOUT shrinking the dirty set,
+// so the victim must be picked again (now with fresh contents). Returns
+// false if no victim is eligible and nothing is in flight.
+func (m *Manager) cleanOneSync() bool {
+	before := len(m.dirty)
+	started := false
+	for len(m.dirty) >= before {
+		if !started || m.inflightCleans() == 0 {
+			// Start a victim immediately (paper §5.1 steps 6–7); pick
+			// again only if everything in flight completed without
+			// shrinking the set (the hardware-assist rewritten case).
+			if page, ok := m.nextVictim(); ok {
+				m.startClean(page)
+				started = true
+			} else if m.inflightCleans() == 0 {
+				return false
+			}
+		}
+		if !m.events.Step(m.clock) {
+			panic("core: blocked on clean with no pending events")
+		}
+	}
+	return true
+}
+
+func (m *Manager) inflightCleans() int {
+	n := 0
+	for _, dp := range m.dirty {
+		if dp.cleaning {
+			n++
+		}
+	}
+	return n
+}
+
+// epochTick is the periodic maintenance task (paper §5.2–§5.3).
+func (m *Manager) epochTick(at sim.Time) {
+	if m.closed {
+		return
+	}
+	if m.inEpoch {
+		// A previous tick is still running (its proactive IO submissions
+		// stalled past a full epoch). Skip this round rather than
+		// corrupting shared state; the system is overloaded anyway.
+		m.stats.SkippedEpochs++
+		m.scheduleEpochAt(at.Add(m.cfg.Epoch))
+		return
+	}
+	m.inEpoch = true
+	m.stats.Epochs++
+	m.epochIndex++
+
+	// Read and clear hardware dirty bits for the known-to-be-dirty pages
+	// only — clean pages are write-protected and cannot have been updated
+	// without a fault — flushing the TLB first so the bits are fresh
+	// (unless the §6.3 ablation disables it).
+	m.dirtyPagesBuf = m.dirtyPagesBuf[:0]
+	for page := range m.dirty {
+		m.dirtyPagesBuf = append(m.dirtyPagesBuf, page)
+	}
+	m.scanBuf = m.region.PageTable().CheckAndClearDirtyPages(m.dirtyPagesBuf, m.scanBuf[:0], !m.cfg.DisableTLBFlush)
+
+	// Age the dirty pages' histories to this epoch, then mark the ones
+	// the scan observed as updated. (Clean pages age lazily when they
+	// are next dirtied; see ageHistory.)
+	for _, p := range m.dirtyPagesBuf {
+		m.ageHistory(p)
+	}
+	for _, p := range m.scanBuf {
+		m.history[p] |= 1 << 63
+	}
+
+	// Dirty-page pressure: EWMA of new dirty pages per epoch.
+	w := m.cfg.EWMAWeight
+	m.pressure = w*float64(m.newDirtyThisEpoch) + (1-w)*m.pressure
+	m.newDirtyThisEpoch = 0
+
+	// Proactive copying: clean least-recently-updated pages until the
+	// dirty set can absorb the predicted burst without blocking.
+	threshold := m.budget - int(m.pressure+0.5)
+	if threshold < 0 {
+		threshold = 0
+	}
+	m.rebuildVictimQueue()
+	// Count in-flight cleans as already-on-their-way reductions.
+	target := len(m.dirty) - m.inflightCleans()
+	for target > threshold {
+		page, ok := m.nextVictim()
+		if !ok {
+			break
+		}
+		m.stats.ProactiveCleans++
+		m.startClean(page)
+		target--
+	}
+
+	m.inEpoch = false
+	m.scheduleEpochAt(at.Add(m.cfg.Epoch))
+	m.checkInvariant()
+}
+
+// FlushAll synchronously cleans every dirty page — the clean-shutdown
+// path. After it returns, the dirty set is empty and every page's
+// contents are durable.
+func (m *Manager) FlushAll() {
+	for len(m.dirty) > 0 {
+		started := false
+		for page, dp := range m.dirty {
+			if !dp.cleaning {
+				m.startClean(page)
+				started = true
+			}
+		}
+		if !m.events.Step(m.clock) && !started {
+			panic("core: FlushAll blocked with no pending events")
+		}
+	}
+}
+
+// SetDirtyBudget retunes the budget at runtime (paper §8: battery cell
+// failures or capacity reallocation between tenants). A decrease below
+// the current dirty count synchronously cleans pages down to the new
+// bound before returning, so the durability guarantee is re-established
+// immediately.
+func (m *Manager) SetDirtyBudget(pages int) error {
+	if pages < 1 {
+		return fmt.Errorf("core: dirty budget %d pages; need at least 1", pages)
+	}
+	// Clean down BEFORE committing the new budget: the invariant
+	// "dirty ≤ budget" must hold at every instant, including while epoch
+	// ticks fire during the synchronous cleans below.
+	for len(m.dirty) > pages {
+		m.stats.RetuneCleans++
+		if !m.cleanOneSync() {
+			return fmt.Errorf("core: cannot reduce dirty set %d to budget %d", len(m.dirty), pages)
+		}
+	}
+	m.budget = pages
+	m.checkInvariant()
+	return nil
+}
+
+// checkInvariant asserts the durability bound. It is cheap (a map length
+// comparison) and runs on every state transition; a violation is a bug in
+// the manager, never a recoverable condition.
+func (m *Manager) checkInvariant() {
+	if len(m.dirty) > m.budget {
+		panic(fmt.Sprintf("core: INVARIANT VIOLATED: %d dirty pages > budget %d", len(m.dirty), m.budget))
+	}
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestMapAllocatesAndIsUsable(t *testing.T) {
+	h := newHarness(t, 32, Config{DirtyBudgetPages: 8})
+	mp, err := h.mgr.Map("heap", 3*4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.Size() != 3*4096 || mp.Name() != "heap" {
+		t.Fatalf("mapping = %q size %d", mp.Name(), mp.Size())
+	}
+	data := []byte("persistent payload")
+	if err := mp.WriteAt(data, 4096+7); err != nil {
+		t.Fatal(err)
+	}
+	h.mgr.Pump()
+	got := make([]byte, len(data))
+	if err := mp.ReadAt(got, 4096+7); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("read %q, want %q", got, data)
+	}
+}
+
+func TestMapRoundsUpToPages(t *testing.T) {
+	h := newHarness(t, 32, Config{DirtyBudgetPages: 8})
+	a, err := h.mgr.Map("a", 100) // occupies 1 page
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.mgr.Map("b", 4097) // occupies 2 pages
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Base() == b.Base() {
+		t.Fatal("mappings overlap")
+	}
+	if b.Base()-a.Base() < 4096 {
+		t.Fatalf("mapping b at %d too close to a at %d", b.Base(), a.Base())
+	}
+}
+
+func TestMapBoundsChecked(t *testing.T) {
+	h := newHarness(t, 32, Config{DirtyBudgetPages: 8})
+	mp, _ := h.mgr.Map("m", 4096)
+	if err := mp.WriteAt([]byte{1}, 4096); err == nil {
+		t.Fatal("write past mapping size succeeded")
+	}
+	if err := mp.ReadAt(make([]byte, 2), 4095); err == nil {
+		t.Fatal("read past mapping size succeeded")
+	}
+	if err := mp.WriteAt([]byte{1}, -1); err == nil {
+		t.Fatal("negative offset write succeeded")
+	}
+}
+
+func TestMapExhaustion(t *testing.T) {
+	h := newHarness(t, 4, Config{DirtyBudgetPages: 2})
+	if _, err := h.mgr.Map("big", 5*4096); err == nil {
+		t.Fatal("oversized map succeeded")
+	}
+	if _, err := h.mgr.Map("ok", 4*4096); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.mgr.Map("more", 4096); err == nil {
+		t.Fatal("map beyond capacity succeeded")
+	}
+	if _, err := h.mgr.Map("zero", 0); err == nil {
+		t.Fatal("zero-size map succeeded")
+	}
+}
+
+func TestUnmapPersistsAndFrees(t *testing.T) {
+	h := newHarness(t, 8, Config{DirtyBudgetPages: 4})
+	mp, _ := h.mgr.Map("m", 2*4096)
+	payload := []byte{0xDE, 0xAD}
+	if err := mp.WriteAt(payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	base := mp.Base()
+	if err := h.mgr.Unmap(mp); err != nil {
+		t.Fatal(err)
+	}
+	// Data was persisted to the SSD before release.
+	durable, ok := h.dev.Durable(h.region.PageOf(base))
+	if !ok || durable[0] != 0xDE || durable[1] != 0xAD {
+		t.Fatal("unmap did not persist mapping contents")
+	}
+	// The extent is reusable.
+	again, err := h.mgr.Map("again", 2*4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Base() != base {
+		t.Fatalf("freed extent not reused first-fit: got base %d, want %d", again.Base(), base)
+	}
+	// Accessing the dead mapping errors.
+	if err := mp.WriteAt([]byte{1}, 0); err == nil {
+		t.Fatal("write through unmapped handle succeeded")
+	}
+	if err := h.mgr.Unmap(mp); err == nil {
+		t.Fatal("double unmap succeeded")
+	}
+}
+
+func TestUnmapLeavesPagesProtected(t *testing.T) {
+	h := newHarness(t, 8, Config{DirtyBudgetPages: 4})
+	mp, _ := h.mgr.Map("m", 4096)
+	if err := mp.WriteAt([]byte{1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	page := h.region.PageOf(mp.Base())
+	if err := h.mgr.Unmap(mp); err != nil {
+		t.Fatal(err)
+	}
+	if !h.region.PageTable().IsProtected(page) {
+		t.Fatal("page writable after unmap; next tenant's first write would not trap")
+	}
+	if h.mgr.DirtyCount() != 0 {
+		t.Fatalf("dirty count after unmap = %d", h.mgr.DirtyCount())
+	}
+}
+
+func TestFreeListCoalesces(t *testing.T) {
+	h := newHarness(t, 8, Config{DirtyBudgetPages: 4})
+	a, _ := h.mgr.Map("a", 2*4096)
+	b, _ := h.mgr.Map("b", 2*4096)
+	c, _ := h.mgr.Map("c", 2*4096)
+	if err := h.mgr.Unmap(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.mgr.Unmap(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.mgr.Unmap(b); err != nil {
+		t.Fatal(err)
+	}
+	// All three extents plus the tail must have coalesced into one run of
+	// 8 pages.
+	big, err := h.mgr.Map("big", 8*4096)
+	if err != nil {
+		t.Fatalf("free list did not coalesce: %v", err)
+	}
+	if big.Base() != 0 {
+		t.Fatalf("coalesced map at base %d, want 0", big.Base())
+	}
+}
+
+func TestMappingsListed(t *testing.T) {
+	h := newHarness(t, 8, Config{DirtyBudgetPages: 4})
+	a, _ := h.mgr.Map("a", 4096)
+	if got := h.mgr.Mappings(); len(got) != 1 || got[0] != a {
+		t.Fatalf("Mappings() = %v", got)
+	}
+	if err := h.mgr.Unmap(a); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.mgr.Mappings(); len(got) != 0 {
+		t.Fatalf("Mappings() after unmap = %v", got)
+	}
+}
+
+func TestUnmapForeignMappingRejected(t *testing.T) {
+	h1 := newHarness(t, 8, Config{DirtyBudgetPages: 4})
+	h2 := newHarness(t, 8, Config{DirtyBudgetPages: 4})
+	mp, _ := h1.mgr.Map("m", 4096)
+	if err := h2.mgr.Unmap(mp); err == nil {
+		t.Fatal("unmap of foreign mapping succeeded")
+	}
+	if err := h2.mgr.Unmap(nil); err == nil {
+		t.Fatal("unmap of nil succeeded")
+	}
+}

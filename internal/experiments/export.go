@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+
+	"viyojit/internal/ycsb"
+)
+
+// JSON export of a sweep, for plotting pipelines (gnuplot/matplotlib
+// readers of the figure data). The schema is purpose-built and stable:
+// one object per (workload, budget) cell plus the workload's baseline.
+
+// LatencyJSON is one operation's latency summary in microseconds.
+type LatencyJSON struct {
+	Op    string  `json:"op"`
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean_us"`
+	P50   float64 `json:"p50_us"`
+	P90   float64 `json:"p90_us"`
+	P99   float64 `json:"p99_us"`
+	P999  float64 `json:"p999_us"`
+}
+
+// PointJSON is one measured cell.
+type PointJSON struct {
+	System          string        `json:"system"`
+	Workload        string        `json:"workload"`
+	BudgetPages     int           `json:"budget_pages"`
+	BudgetFraction  float64       `json:"budget_fraction"`
+	ThroughputKOps  float64       `json:"throughput_kops"`
+	OverheadPercent float64       `json:"overhead_percent"`
+	WriteRateMBps   float64       `json:"write_rate_mbps"`
+	CopyRateMBps    float64       `json:"copy_rate_mbps"`
+	Faults          uint64        `json:"faults"`
+	ForcedCleans    uint64        `json:"forced_cleans"`
+	ProactiveCleans uint64        `json:"proactive_cleans"`
+	Latencies       []LatencyJSON `json:"latencies"`
+}
+
+// SweepJSON is the export root.
+type SweepJSON struct {
+	Figure string      `json:"figure"`
+	Points []PointJSON `json:"points"`
+}
+
+func latencies(r ycsb.Result) []LatencyJSON {
+	var out []LatencyJSON
+	for _, op := range []ycsb.OpKind{ycsb.OpRead, ycsb.OpUpdate, ycsb.OpInsert, ycsb.OpReadModifyWrite} {
+		h := r.LatencyOf(op)
+		if h.Count() == 0 {
+			continue
+		}
+		s := h.Snapshot()
+		out = append(out, LatencyJSON{
+			Op:    op.String(),
+			Count: s.Count,
+			Mean:  s.Mean.Microseconds(),
+			P50:   s.P50.Microseconds(),
+			P90:   s.P90.Microseconds(),
+			P99:   s.P99.Microseconds(),
+			P999:  s.P999.Microseconds(),
+		})
+	}
+	return out
+}
+
+func pointJSON(p Point, base Point) PointJSON {
+	return PointJSON{
+		System:          p.System,
+		Workload:        p.Workload,
+		BudgetPages:     p.DirtyBudgetPages,
+		BudgetFraction:  p.BudgetFraction,
+		ThroughputKOps:  p.Result.ThroughputKOps(),
+		OverheadPercent: ThroughputOverheadPercent(p, base),
+		WriteRateMBps:   p.WriteRateMBps,
+		CopyRateMBps:    p.CopyRateMBps,
+		Faults:          p.FaultsTaken,
+		ForcedCleans:    p.ManagerStats.ForcedCleans,
+		ProactiveCleans: p.ManagerStats.ProactiveCleans,
+		Latencies:       latencies(p.Result),
+	}
+}
+
+// WriteSweepJSON serialises the full sweep (baselines included) as
+// indented JSON.
+func WriteSweepJSON(w io.Writer, s *Sweep) error {
+	out := SweepJSON{Figure: "ycsb-budget-sweep (figs 7-9)"}
+	for _, ws := range s.Workloads {
+		out.Points = append(out.Points, pointJSON(ws.Baseline, ws.Baseline))
+		for _, p := range ws.Points {
+			out.Points = append(out.Points, pointJSON(p, ws.Baseline))
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

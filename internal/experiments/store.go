@@ -1,0 +1,27 @@
+package experiments
+
+import (
+	"viyojit/internal/kvstore"
+	"viyojit/internal/pheap"
+)
+
+// mappingStore is the pheap.Store shape both managers' mappings satisfy.
+type mappingStore interface {
+	ReadAt(p []byte, off int64) error
+	WriteAt(p []byte, off int64) error
+	Size() int64
+}
+
+// newStore formats a persistent heap on the mapping and creates a KV
+// store sized like the paper's Redis: one bucket per expected ~4 records.
+func newStore(mapping mappingStore) (*kvstore.Store, error) {
+	heap, err := pheap.Format(mapping)
+	if err != nil {
+		return nil, err
+	}
+	buckets := int(mapping.Size() / 8192)
+	if buckets < 64 {
+		buckets = 64
+	}
+	return kvstore.Create(heap, buckets)
+}

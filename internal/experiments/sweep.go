@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+
+	"viyojit/internal/sim"
+	"viyojit/internal/ycsb"
+)
+
+// SweepOptions parameterises the Fig 7/8/9 budget sweep. One sweep's
+// runs feed all three figures, exactly as one set of experiments does in
+// the paper.
+type SweepOptions struct {
+	// Workloads to run; nil selects the paper's five (A, B, C, D, F).
+	Workloads []ycsb.Workload
+	// Fractions of the initial heap to sweep the dirty budget over; nil
+	// selects BudgetFractions (11 %…103 %).
+	Fractions []float64
+	// OperationCount per run; 0 selects 50 000.
+	OperationCount int
+	// HeapBytes scales the initial heap; 0 selects DefaultHeapBytes.
+	HeapBytes int64
+	Seed      uint64
+	// Epoch and DisableTLBFlush pass through (ablations).
+	Epoch           sim.Duration
+	DisableTLBFlush bool
+}
+
+func (o SweepOptions) withDefaults() SweepOptions {
+	if o.Workloads == nil {
+		o.Workloads = ycsb.StandardWorkloads()
+	}
+	if o.Fractions == nil {
+		o.Fractions = BudgetFractions
+	}
+	return o
+}
+
+// QuickSweepOptions returns a reduced sweep (three fractions, two
+// workloads, fewer ops) for tests and -short benchmarks.
+func QuickSweepOptions() SweepOptions {
+	return SweepOptions{
+		Workloads:      []ycsb.Workload{ycsb.WorkloadA, ycsb.WorkloadC},
+		Fractions:      SummaryFractions,
+		OperationCount: 15_000,
+		Seed:           1,
+	}
+}
+
+// WorkloadSweep is one workload's row of the sweep: its baseline plus one
+// point per budget fraction.
+type WorkloadSweep struct {
+	Workload ycsb.Workload
+	Baseline Point
+	Points   []Point
+}
+
+// Sweep holds the full Fig 7/8/9 data set.
+type Sweep struct {
+	Options   SweepOptions
+	Workloads []WorkloadSweep
+}
+
+// RunSweep executes the budget sweep: for each workload, one baseline
+// run and one Viyojit run per budget fraction.
+func RunSweep(opts SweepOptions) (*Sweep, error) {
+	opts = opts.withDefaults()
+	sweep := &Sweep{Options: opts}
+	for _, w := range opts.Workloads {
+		cfg := YCSBConfig{
+			Workload:        w,
+			HeapBytes:       opts.HeapBytes,
+			OperationCount:  opts.OperationCount,
+			Seed:            opts.Seed,
+			Epoch:           opts.Epoch,
+			DisableTLBFlush: opts.DisableTLBFlush,
+		}
+		base, err := RunBaseline(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: baseline %s: %w", w.Name, err)
+		}
+		ws := WorkloadSweep{Workload: w, Baseline: base}
+		for _, frac := range opts.Fractions {
+			p, err := RunViyojit(cfg, BudgetPages(cfg, frac))
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s at %.0f%%: %w", w.Name, frac*100, err)
+			}
+			ws.Points = append(ws.Points, p)
+		}
+		sweep.Workloads = append(sweep.Workloads, ws)
+	}
+	return sweep, nil
+}
+
+// find returns the sweep row for a workload name.
+func (s *Sweep) find(name string) *WorkloadSweep {
+	for i := range s.Workloads {
+		if s.Workloads[i].Workload.Name == name {
+			return &s.Workloads[i]
+		}
+	}
+	return nil
+}

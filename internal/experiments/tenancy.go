@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"viyojit/internal/core"
+	"viyojit/internal/nvdram"
+	"viyojit/internal/sim"
+	"viyojit/internal/ssd"
+	"viyojit/internal/tenancy"
+)
+
+// TenancyResult compares a static half-and-half battery split against the
+// §6.3 pooled allocation under an asymmetric (bursty + quiet) tenant
+// pair.
+type TenancyResult struct {
+	// Forced cleans suffered by the bursty tenant (writes that blocked
+	// on the SSD because its budget was exhausted).
+	StaticForcedCleans uint64
+	PooledForcedCleans uint64
+	// Fault-path waiting time of the bursty tenant.
+	StaticFaultWait sim.Duration
+	PooledFaultWait sim.Duration
+	// Final grants under pooling (the multiplexing at work).
+	PooledBurstyGrant int
+	PooledQuietGrant  int
+	Rebalances        uint64
+}
+
+// tenantStack is one tenant's region + manager on a shared simulation.
+type tenantStack struct {
+	region *nvdram.Region
+	mgr    *core.Manager
+}
+
+func newTenantStack(clock *sim.Clock, events *sim.Queue, pages, budget int) (*tenantStack, error) {
+	region, err := nvdram.New(clock, nvdram.Config{Size: int64(pages) * nvdram.DefaultPageSize})
+	if err != nil {
+		return nil, err
+	}
+	dev := ssd.New(clock, events, ssd.Config{})
+	mgr, err := core.NewManager(clock, events, region, dev, core.Config{DirtyBudgetPages: budget})
+	if err != nil {
+		return nil, err
+	}
+	return &tenantStack{region: region, mgr: mgr}, nil
+}
+
+// driveTenants runs the asymmetric workload: the bursty tenant writes in
+// heavy phases separated by idle ones; the quiet tenant writes a trickle.
+// Returns after `steps` one-millisecond steps.
+func driveTenants(clock *sim.Clock, events *sim.Queue, bursty, quiet *tenantStack, seed uint64, steps int) error {
+	rng := sim.NewRNG(seed)
+	const pages = 1024
+	bp, qp := 0, 0
+	for step := 0; step < steps; step++ {
+		inBurst := (step/20)%2 == 0 // 20 ms on, 20 ms off
+		writesThisStep := 1
+		if inBurst {
+			writesThisStep = 12
+		}
+		for i := 0; i < writesThisStep; i++ {
+			p := bp % pages
+			if rng.Intn(3) > 0 { // mostly fresh pages during bursts
+				bp++
+			}
+			if err := bursty.region.WriteAt([]byte{byte(step + i + 1)}, int64(p)*nvdram.DefaultPageSize); err != nil {
+				return err
+			}
+		}
+		// Quiet tenant: one small write per step.
+		if err := quiet.region.WriteAt([]byte{byte(step + 1)}, int64(qp%pages)*nvdram.DefaultPageSize); err != nil {
+			return err
+		}
+		if step%7 == 0 {
+			qp++
+		}
+		clock.Advance(sim.Millisecond)
+		events.RunUntil(clock, clock.Now())
+	}
+	return nil
+}
+
+// RunTenancyExperiment measures the statistical-multiplexing benefit:
+// the same workload pair under a static split and under the pooled,
+// pressure-driven allocation.
+func RunTenancyExperiment(seed uint64, steps int) (TenancyResult, error) {
+	const (
+		tenantPages = 1024
+		totalBudget = 256
+		floor       = 32
+	)
+	if steps == 0 {
+		steps = 400
+	}
+	var res TenancyResult
+
+	// Static: each tenant owns half the battery forever.
+	{
+		clock := sim.NewClock()
+		events := sim.NewQueue()
+		bursty, err := newTenantStack(clock, events, tenantPages, totalBudget/2)
+		if err != nil {
+			return res, err
+		}
+		quiet, err := newTenantStack(clock, events, tenantPages, totalBudget/2)
+		if err != nil {
+			return res, err
+		}
+		if err := driveTenants(clock, events, bursty, quiet, seed, steps); err != nil {
+			return res, err
+		}
+		res.StaticForcedCleans = bursty.mgr.Stats().ForcedCleans
+		res.StaticFaultWait = bursty.mgr.Stats().FaultWaitTotal
+	}
+
+	// Pooled: the same total battery, reallocated by pressure.
+	{
+		clock := sim.NewClock()
+		events := sim.NewQueue()
+		bursty, err := newTenantStack(clock, events, tenantPages, totalBudget/2)
+		if err != nil {
+			return res, err
+		}
+		quiet, err := newTenantStack(clock, events, tenantPages, totalBudget/2)
+		if err != nil {
+			return res, err
+		}
+		pool, err := tenancy.NewPool(clock, events, totalBudget, 5*sim.Millisecond)
+		if err != nil {
+			return res, err
+		}
+		tb, err := pool.Attach("bursty", bursty.mgr, floor)
+		if err != nil {
+			return res, err
+		}
+		tq, err := pool.Attach("quiet", quiet.mgr, floor)
+		if err != nil {
+			return res, err
+		}
+		if err := driveTenants(clock, events, bursty, quiet, seed, steps); err != nil {
+			return res, err
+		}
+		res.PooledForcedCleans = bursty.mgr.Stats().ForcedCleans
+		res.PooledFaultWait = bursty.mgr.Stats().FaultWaitTotal
+		res.PooledBurstyGrant = tb.Granted()
+		res.PooledQuietGrant = tq.Granted()
+		res.Rebalances = pool.Stats().Rebalances
+		pool.Close()
+	}
+	return res, nil
+}
+
+// FprintTenancy writes the multiplexing comparison.
+func FprintTenancy(w io.Writer, r TenancyResult) {
+	fmt.Fprintln(w, "§6.3 extension: battery as a schedulable resource (bursty + quiet tenants)")
+	fmt.Fprintf(w, "%-28s %14s %14s\n", "", "Static split", "Pooled")
+	fmt.Fprintf(w, "%-28s %14d %14d\n", "Bursty forced cleans", r.StaticForcedCleans, r.PooledForcedCleans)
+	fmt.Fprintf(w, "%-28s %14v %14v\n", "Bursty fault-wait time", r.StaticFaultWait, r.PooledFaultWait)
+	fmt.Fprintf(w, "final grants: bursty %d pages, quiet %d pages after %d rebalances\n",
+		r.PooledBurstyGrant, r.PooledQuietGrant, r.Rebalances)
+}

@@ -1,0 +1,94 @@
+package mmu
+
+// tlbEntry is a cached translation. writeProtected mirrors the PTE
+// permission at fill time; dirtyPropagated records whether a write through
+// this cached translation has already set the PTE dirty bit — once true,
+// further writes do not touch the PTE, which is exactly how stale dirty
+// bits arise when the TLB is not flushed between epoch scans.
+type tlbEntry struct {
+	page            PageID
+	writeProtected  bool
+	dirtyPropagated bool
+}
+
+// tlb is a fixed-capacity translation cache with FIFO replacement. FIFO is
+// chosen over random eviction to keep the simulation deterministic; the
+// experiments are insensitive to the replacement policy because the
+// effects that matter are full flushes and single-page invalidations.
+type tlb struct {
+	capacity int
+	entries  map[PageID]*tlbEntry
+	fifo     []PageID // insertion order ring
+	head     int      // index of oldest live slot in fifo
+}
+
+func newTLB(capacity int) *tlb {
+	return &tlb{
+		capacity: capacity,
+		entries:  make(map[PageID]*tlbEntry, capacity),
+	}
+}
+
+// lookup returns the cached translation for page, or nil on a miss.
+func (t *tlb) lookup(page PageID) *tlbEntry {
+	return t.entries[page]
+}
+
+// fill inserts a translation for page, evicting the oldest entry if the
+// TLB is full, and returns the new entry.
+func (t *tlb) fill(page PageID, writeProtected bool) *tlbEntry {
+	if e, ok := t.entries[page]; ok {
+		e.writeProtected = writeProtected
+		return e
+	}
+	for len(t.entries) >= t.capacity {
+		t.evictOldest()
+	}
+	e := &tlbEntry{page: page, writeProtected: writeProtected}
+	t.entries[page] = e
+	t.fifo = append(t.fifo, page)
+	return e
+}
+
+// evictOldest removes the oldest live translation. Slots whose pages were
+// invalidated out of band are skipped.
+func (t *tlb) evictOldest() {
+	for t.head < len(t.fifo) {
+		page := t.fifo[t.head]
+		t.head++
+		if e, ok := t.entries[page]; ok && e != nil {
+			delete(t.entries, page)
+			t.compact()
+			return
+		}
+	}
+	t.compact()
+}
+
+// compact reclaims the consumed prefix of the fifo ring once it dominates
+// the slice, keeping memory bounded without per-op copying.
+func (t *tlb) compact() {
+	if t.head > len(t.fifo)/2 && t.head > 64 {
+		t.fifo = append(t.fifo[:0], t.fifo[t.head:]...)
+		t.head = 0
+	}
+}
+
+// invalidate removes page's translation, reporting whether one was cached.
+func (t *tlb) invalidate(page PageID) bool {
+	if _, ok := t.entries[page]; !ok {
+		return false
+	}
+	delete(t.entries, page)
+	return true
+}
+
+// flush removes every cached translation.
+func (t *tlb) flush() {
+	clear(t.entries)
+	t.fifo = t.fifo[:0]
+	t.head = 0
+}
+
+// size returns the number of live translations (for tests).
+func (t *tlb) size() int { return len(t.entries) }

@@ -1,0 +1,254 @@
+// Package nvfs is a small persistent file system on battery-backed DRAM
+// — the first application class the paper's introduction lists as an NVM
+// beneficiary (its refs include BPFS, PMFS, NOVA), and the setting of
+// §3's analysis: "file system volumes hosted entirely in NV-DRAM". Every
+// metadata and data structure lives in the NV-DRAM store, so the whole
+// file system — superblock, bitmap, inodes, directories, file contents —
+// is durable under Viyojit with a fraction-sized battery.
+//
+// On-store layout (4 KiB blocks):
+//
+//	block 0:            superblock
+//	blocks 1..B:        block-allocation bitmap (1 bit per block)
+//	blocks B+1..B+I:    inode table (64 B inodes)
+//	remaining blocks:   file and directory data
+//
+// Files use 12 direct block pointers plus one single-indirect block
+// (max file size ≈ 4.2 MiB at 4 KiB blocks). Directories are files of
+// fixed 64-byte entries. The design goal is a *real, tested* FS substrate
+// at honest scope — not a POSIX clone.
+//
+// Crash consistency: operations order their writes so that a power
+// failure leaves the tree traversable (data and inode before the
+// directory entry that publishes them); Viyojit supplies the byte
+// durability underneath.
+package nvfs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Store is the NV-DRAM surface (same shape as pheap.Store).
+type Store interface {
+	ReadAt(p []byte, off int64) error
+	WriteAt(p []byte, off int64) error
+	Size() int64
+}
+
+// Geometry and layout constants.
+const (
+	BlockSize = 4096
+
+	magic = 0x5649594F4A465331 // "VIYOJFS1"
+
+	inodeSize      = 64
+	directPointers = 12
+	ptrSize        = 4
+	ptrsPerBlock   = BlockSize / ptrSize
+
+	// MaxFileSize is the largest file the inode geometry addresses.
+	MaxFileSize = (directPointers + ptrsPerBlock) * BlockSize
+
+	dirEntrySize = 64
+	// MaxNameLen bounds one path component.
+	MaxNameLen = dirEntrySize - 5 // inode u32 + nameLen u8
+
+	rootInode = 0
+)
+
+// Errors returned by the file system.
+var (
+	ErrNotExist   = errors.New("nvfs: no such file or directory")
+	ErrExist      = errors.New("nvfs: already exists")
+	ErrNotDir     = errors.New("nvfs: not a directory")
+	ErrIsDir      = errors.New("nvfs: is a directory")
+	ErrNotEmpty   = errors.New("nvfs: directory not empty")
+	ErrNoSpace    = errors.New("nvfs: no space left on volume")
+	ErrNoInodes   = errors.New("nvfs: no free inodes")
+	ErrFileTooBig = errors.New("nvfs: file exceeds maximum size")
+	ErrBadName    = errors.New("nvfs: invalid name")
+)
+
+// kind values stored in inodes.
+const (
+	kindFree = 0
+	kindFile = 1
+	kindDir  = 2
+)
+
+// FS is an open file system. It is not safe for concurrent use.
+type FS struct {
+	store Store
+
+	nBlocks      uint32
+	nInodes      uint32
+	bitmapStart  uint32 // block index
+	bitmapBlocks uint32
+	inodeStart   uint32 // block index
+	dataStart    uint32 // first allocatable block
+}
+
+// superblock layout offsets (within block 0).
+const (
+	sbMagic        = 0
+	sbNBlocks      = 8
+	sbNInodes      = 12
+	sbBitmapStart  = 16
+	sbBitmapBlocks = 20
+	sbInodeStart   = 24
+	sbDataStart    = 28
+	sbSize         = 32
+)
+
+// Format initialises a fresh file system across the store, with one
+// inode per 16 data blocks (a classic ratio), and returns it mounted.
+func Format(store Store) (*FS, error) {
+	totalBlocks := store.Size() / BlockSize
+	if totalBlocks < 8 {
+		return nil, fmt.Errorf("nvfs: store of %d bytes too small", store.Size())
+	}
+	if totalBlocks > 1<<31 {
+		return nil, fmt.Errorf("nvfs: store too large for 32-bit block pointers")
+	}
+	nBlocks := uint32(totalBlocks)
+
+	bitmapBlocks := (nBlocks + BlockSize*8 - 1) / (BlockSize * 8)
+	nInodes := nBlocks / 16
+	if nInodes < 16 {
+		nInodes = 16
+	}
+	inodeBlocks := (nInodes*inodeSize + BlockSize - 1) / BlockSize
+
+	fs := &FS{
+		store:        store,
+		nBlocks:      nBlocks,
+		nInodes:      nInodes,
+		bitmapStart:  1,
+		bitmapBlocks: bitmapBlocks,
+		inodeStart:   1 + bitmapBlocks,
+		dataStart:    1 + bitmapBlocks + inodeBlocks,
+	}
+	if fs.dataStart >= nBlocks {
+		return nil, fmt.Errorf("nvfs: store too small for metadata (%d metadata blocks of %d)", fs.dataStart, nBlocks)
+	}
+
+	// Zero the metadata region (bitmap + inode table).
+	zero := make([]byte, BlockSize)
+	for b := fs.bitmapStart; b < fs.dataStart; b++ {
+		if err := store.WriteAt(zero, int64(b)*BlockSize); err != nil {
+			return nil, err
+		}
+	}
+	// Superblock.
+	sb := make([]byte, sbSize)
+	binary.LittleEndian.PutUint64(sb[sbMagic:], magic)
+	binary.LittleEndian.PutUint32(sb[sbNBlocks:], nBlocks)
+	binary.LittleEndian.PutUint32(sb[sbNInodes:], nInodes)
+	binary.LittleEndian.PutUint32(sb[sbBitmapStart:], fs.bitmapStart)
+	binary.LittleEndian.PutUint32(sb[sbBitmapBlocks:], bitmapBlocks)
+	binary.LittleEndian.PutUint32(sb[sbInodeStart:], fs.inodeStart)
+	binary.LittleEndian.PutUint32(sb[sbDataStart:], fs.dataStart)
+	if err := store.WriteAt(sb, 0); err != nil {
+		return nil, err
+	}
+	// Root directory: inode 0, empty.
+	root := inode{kind: kindDir}
+	if err := fs.writeInode(rootInode, &root); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+// Open mounts an existing file system (the recovery path), validating
+// the superblock.
+func Open(store Store) (*FS, error) {
+	sb := make([]byte, sbSize)
+	if err := store.ReadAt(sb, 0); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint64(sb[sbMagic:]) != magic {
+		return nil, fmt.Errorf("nvfs: bad magic; store is not an nvfs volume")
+	}
+	fs := &FS{
+		store:        store,
+		nBlocks:      binary.LittleEndian.Uint32(sb[sbNBlocks:]),
+		nInodes:      binary.LittleEndian.Uint32(sb[sbNInodes:]),
+		bitmapStart:  binary.LittleEndian.Uint32(sb[sbBitmapStart:]),
+		bitmapBlocks: binary.LittleEndian.Uint32(sb[sbBitmapBlocks:]),
+		inodeStart:   binary.LittleEndian.Uint32(sb[sbInodeStart:]),
+		dataStart:    binary.LittleEndian.Uint32(sb[sbDataStart:]),
+	}
+	if int64(fs.nBlocks)*BlockSize > store.Size() || fs.dataStart >= fs.nBlocks {
+		return nil, fmt.Errorf("nvfs: superblock geometry inconsistent with store")
+	}
+	return fs, nil
+}
+
+// --- path resolution ---------------------------------------------------
+
+// splitPath normalises and splits an absolute path; "" and "/" yield nil
+// (the root).
+func splitPath(path string) ([]string, error) {
+	path = strings.Trim(path, "/")
+	if path == "" {
+		return nil, nil
+	}
+	parts := strings.Split(path, "/")
+	for _, p := range parts {
+		if p == "" || p == "." || p == ".." || len(p) > MaxNameLen {
+			return nil, fmt.Errorf("%w: %q", ErrBadName, p)
+		}
+	}
+	return parts, nil
+}
+
+// resolve walks the path to an inode number.
+func (fs *FS) resolve(path string) (uint32, *inode, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	cur := uint32(rootInode)
+	ino, err := fs.readInode(cur)
+	if err != nil {
+		return 0, nil, err
+	}
+	for _, name := range parts {
+		if ino.kind != kindDir {
+			return 0, nil, fmt.Errorf("%w: %s", ErrNotDir, path)
+		}
+		next, _, err := fs.dirLookup(cur, ino, name)
+		if err != nil {
+			return 0, nil, err
+		}
+		cur = next
+		if ino, err = fs.readInode(cur); err != nil {
+			return 0, nil, err
+		}
+	}
+	return cur, ino, nil
+}
+
+// resolveParent returns the parent directory's inode number/state and the
+// final path component.
+func (fs *FS) resolveParent(path string) (uint32, *inode, string, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return 0, nil, "", err
+	}
+	if len(parts) == 0 {
+		return 0, nil, "", fmt.Errorf("%w: empty path", ErrBadName)
+	}
+	dirPath := "/" + strings.Join(parts[:len(parts)-1], "/")
+	dirIno, dir, err := fs.resolve(dirPath)
+	if err != nil {
+		return 0, nil, "", err
+	}
+	if dir.kind != kindDir {
+		return 0, nil, "", fmt.Errorf("%w: %s", ErrNotDir, dirPath)
+	}
+	return dirIno, dir, parts[len(parts)-1], nil
+}

@@ -1,0 +1,424 @@
+package nvfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"viyojit/internal/sim"
+)
+
+type memStore struct{ data []byte }
+
+func newMemStore(size int) *memStore { return &memStore{data: make([]byte, size)} }
+
+func (m *memStore) Size() int64 { return int64(len(m.data)) }
+
+func (m *memStore) ReadAt(p []byte, off int64) error {
+	if off < 0 || off+int64(len(p)) > int64(len(m.data)) {
+		return errors.New("memStore: out of range")
+	}
+	copy(p, m.data[off:])
+	return nil
+}
+
+func (m *memStore) WriteAt(p []byte, off int64) error {
+	if off < 0 || off+int64(len(p)) > int64(len(m.data)) {
+		return errors.New("memStore: out of range")
+	}
+	copy(m.data[off:], p)
+	return nil
+}
+
+func newTestFS(t testing.TB, size int) *FS {
+	t.Helper()
+	fs, err := Format(newMemStore(size))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestFormatValidation(t *testing.T) {
+	if _, err := Format(newMemStore(BlockSize * 2)); err == nil {
+		t.Fatal("tiny store accepted")
+	}
+}
+
+func TestOpenRejectsUnformatted(t *testing.T) {
+	if _, err := Open(newMemStore(1 << 20)); err == nil {
+		t.Fatal("unformatted store mounted")
+	}
+}
+
+func TestCreateWriteReadFile(t *testing.T) {
+	fs := newTestFS(t, 4<<20)
+	if err := fs.Create("/hello.txt"); err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("hello, persistent file system")
+	if err := fs.WriteFile("/hello.txt", data, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := fs.ReadFile("/hello.txt", got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("read %q", got)
+	}
+	info, err := fs.Stat("/hello.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size != int64(len(data)) || info.IsDir || info.Name != "hello.txt" {
+		t.Fatalf("stat = %+v", info)
+	}
+}
+
+func TestDirectoriesNestAndList(t *testing.T) {
+	fs := newTestFS(t, 4<<20)
+	if err := fs.Mkdir("/var"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/var/log"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Create("/var/log/app.log"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Create("/var/run"); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := fs.ReadDir("/var")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("entries = %+v", entries)
+	}
+	names := map[string]bool{}
+	for _, e := range entries {
+		names[e.Name] = true
+	}
+	if !names["log"] || !names["run"] {
+		t.Fatalf("names = %v", names)
+	}
+	root, err := fs.ReadDir("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(root) != 1 || root[0].Name != "var" || !root[0].IsDir {
+		t.Fatalf("root = %+v", root)
+	}
+}
+
+func TestErrorCases(t *testing.T) {
+	fs := newTestFS(t, 4<<20)
+	if err := fs.Create("/a.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Create("/a.txt"); !errors.Is(err, ErrExist) {
+		t.Fatalf("duplicate create: %v", err)
+	}
+	if err := fs.ReadFile("/missing", make([]byte, 1), 0); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("missing read: %v", err)
+	}
+	if err := fs.WriteFile("/", []byte{1}, 0); !errors.Is(err, ErrIsDir) {
+		t.Fatalf("write to dir: %v", err)
+	}
+	if _, err := fs.ReadDir("/a.txt"); !errors.Is(err, ErrNotDir) {
+		t.Fatalf("readdir on file: %v", err)
+	}
+	if err := fs.Create("/missing/child"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("create under missing dir: %v", err)
+	}
+	if err := fs.Create("/" + string(make([]byte, MaxNameLen+1))); !errors.Is(err, ErrBadName) {
+		t.Fatalf("long name: %v", err)
+	}
+	if err := fs.Create("/a/../b"); !errors.Is(err, ErrBadName) {
+		t.Fatalf("dot-dot path: %v", err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	fs := newTestFS(t, 4<<20)
+	if err := fs.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Create("/d/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/d/f", bytes.Repeat([]byte{1}, 10000), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("/d"); !errors.Is(err, ErrNotEmpty) {
+		t.Fatalf("remove of non-empty dir: %v", err)
+	}
+	if err := fs.Remove("/d/f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat("/d/f"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("removed file still stats: %v", err)
+	}
+	if err := fs.Remove("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if entries, err := fs.ReadDir("/"); err != nil || len(entries) != 0 {
+		t.Fatalf("root after removals: %v %v", entries, err)
+	}
+	// The freed space is reusable.
+	if err := fs.Create("/fresh"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/fresh", bytes.Repeat([]byte{2}, 10000), 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeFileSpansIndirect(t *testing.T) {
+	fs := newTestFS(t, 8<<20)
+	if err := fs.Create("/big"); err != nil {
+		t.Fatal(err)
+	}
+	// Past the 12 direct blocks (48 KiB) into the indirect range.
+	data := make([]byte, 200*1024)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	if err := fs.WriteFile("/big", data, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := fs.ReadFile("/big", got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("indirect-range contents corrupted")
+	}
+	// Sparse write far into the file: the hole reads as zeros.
+	if err := fs.Truncate("/big"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/big", []byte{0xAA}, 100*1024); err != nil {
+		t.Fatal(err)
+	}
+	hole := make([]byte, 64)
+	if err := fs.ReadFile("/big", hole, 1024); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range hole {
+		if b != 0 {
+			t.Fatal("hole did not read as zeros")
+		}
+	}
+}
+
+func TestFileTooBig(t *testing.T) {
+	fs := newTestFS(t, 64<<20)
+	if err := fs.Create("/huge"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/huge", []byte{1}, MaxFileSize); !errors.Is(err, ErrFileTooBig) {
+		t.Fatalf("write past max size: %v", err)
+	}
+}
+
+func TestNoSpace(t *testing.T) {
+	fs := newTestFS(t, 64*BlockSize)
+	if err := fs.Create("/f"); err != nil {
+		t.Fatal(err)
+	}
+	var err error
+	for i := 0; i < 1000; i++ {
+		if err = fs.WriteFile("/f", make([]byte, BlockSize), int64(i)*BlockSize); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrNoSpace) && !errors.Is(err, ErrFileTooBig) {
+		t.Fatalf("filling the volume ended with %v", err)
+	}
+}
+
+func TestReopenPreservesTree(t *testing.T) {
+	ms := newMemStore(4 << 20)
+	fs1, err := Format(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs1.Mkdir("/etc"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs1.Create("/etc/conf"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs1.WriteFile("/etc/conf", []byte("key=value"), 0); err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := Open(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 9)
+	if err := fs2.ReadFile("/etc/conf", got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "key=value" {
+		t.Fatalf("reopened read = %q", got)
+	}
+}
+
+// Property: the FS agrees with an in-memory shadow under random
+// create/write/read/remove sequences.
+func TestShadowProperty(t *testing.T) {
+	f := func(seed uint64, steps uint8) bool {
+		fs := newTestFS(t, 8<<20)
+		rng := sim.NewRNG(seed)
+		shadow := map[string][]byte{}
+		names := make([]string, 12)
+		for i := range names {
+			names[i] = fmt.Sprintf("/file-%02d", i)
+		}
+		for i := 0; i < int(steps)%120+1; i++ {
+			name := names[rng.Intn(len(names))]
+			switch rng.Intn(5) {
+			case 0: // create
+				err := fs.Create(name)
+				if _, exists := shadow[name]; exists {
+					if !errors.Is(err, ErrExist) {
+						return false
+					}
+				} else if err != nil {
+					return false
+				} else {
+					shadow[name] = []byte{}
+				}
+			case 1, 2: // write (append-ish)
+				data, exists := shadow[name]
+				buf := make([]byte, rng.Intn(3000)+1)
+				for j := range buf {
+					buf[j] = byte(rng.Uint64())
+				}
+				off := int64(0)
+				if len(data) > 0 {
+					off = rng.Int63n(int64(len(data)) + 1)
+				}
+				err := fs.WriteFile(name, buf, off)
+				if !exists {
+					if !errors.Is(err, ErrNotExist) {
+						return false
+					}
+					continue
+				}
+				if err != nil {
+					return false
+				}
+				end := off + int64(len(buf))
+				if end > int64(len(data)) {
+					grown := make([]byte, end)
+					copy(grown, data)
+					data = grown
+				}
+				copy(data[off:], buf)
+				shadow[name] = data
+			case 3: // read + compare
+				data, exists := shadow[name]
+				if !exists || len(data) == 0 {
+					continue
+				}
+				got := make([]byte, len(data))
+				if err := fs.ReadFile(name, got, 0); err != nil {
+					return false
+				}
+				if !bytes.Equal(got, data) {
+					return false
+				}
+			case 4: // remove
+				err := fs.Remove(name)
+				if _, exists := shadow[name]; exists {
+					if err != nil {
+						return false
+					}
+					delete(shadow, name)
+				} else if !errors.Is(err, ErrNotExist) {
+					return false
+				}
+			}
+		}
+		// Final listing matches the shadow.
+		entries, err := fs.ReadDir("/")
+		if err != nil {
+			return false
+		}
+		if len(entries) != len(shadow) {
+			return false
+		}
+		for _, e := range entries {
+			data, ok := shadow["/"+e.Name]
+			if !ok || e.Size != int64(len(data)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRename(t *testing.T) {
+	fs := newTestFS(t, 4<<20)
+	if err := fs.Mkdir("/a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Create("/a/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/a/f", []byte("payload"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/a/f", "/b/g"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat("/a/f"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("old name still present: %v", err)
+	}
+	got := make([]byte, 7)
+	if err := fs.ReadFile("/b/g", got, 0); err != nil || string(got) != "payload" {
+		t.Fatalf("renamed contents: %q %v", got, err)
+	}
+	// Same-parent rename.
+	if err := fs.Rename("/b/g", "/b/h"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.ReadFile("/b/h", got, 0); err != nil || string(got) != "payload" {
+		t.Fatalf("same-dir rename: %q %v", got, err)
+	}
+	entries, err := fs.ReadDir("/b")
+	if err != nil || len(entries) != 1 || entries[0].Name != "h" {
+		t.Fatalf("dir after renames: %+v %v", entries, err)
+	}
+	// Destination collision rejected.
+	if err := fs.Create("/b/other"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/b/h", "/b/other"); !errors.Is(err, ErrExist) {
+		t.Fatalf("rename onto existing: %v", err)
+	}
+	// Missing source rejected.
+	if err := fs.Rename("/nope", "/b/x"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("rename of missing: %v", err)
+	}
+	// Directories rename too.
+	if err := fs.Rename("/b", "/c"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat("/c/h"); err != nil {
+		t.Fatalf("renamed directory lost children: %v", err)
+	}
+}

@@ -1,0 +1,52 @@
+package nvfs
+
+import "testing"
+
+// FuzzPaths hardens path handling: arbitrary byte strings fed to every
+// path-taking operation must produce errors or correct behaviour, never
+// panics or cross-file corruption.
+func FuzzPaths(f *testing.F) {
+	f.Add("/normal/file.txt")
+	f.Add("//double//slashes//")
+	f.Add("/../../../etc/passwd")
+	f.Add("/")
+	f.Add("")
+	f.Add("/ünïcödé/✓")
+	f.Add("/a\x00b")
+	f.Add("/" + string(make([]byte, 300)))
+
+	f.Fuzz(func(t *testing.T, path string) {
+		fs := newTestFS(t, 1<<20)
+		if err := fs.Mkdir("/dir"); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Create("/dir/sentinel"); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.WriteFile("/dir/sentinel", []byte("guard"), 0); err != nil {
+			t.Fatal(err)
+		}
+
+		// Exercise every path-taking entry point; errors are fine.
+		_ = fs.Create(path)
+		_ = fs.Mkdir(path)
+		_, _ = fs.Stat(path)
+		_ = fs.WriteFile(path, []byte("x"), 0)
+		_ = fs.ReadFile(path, make([]byte, 1), 0)
+		_, _ = fs.ReadDir(path)
+		_ = fs.Rename(path, "/dir/renamed")
+		_ = fs.Remove(path)
+
+		// The sentinel must be unscathed regardless of what the fuzzer
+		// did (unless it legitimately named and removed it).
+		if info, err := fs.Stat("/dir/sentinel"); err == nil {
+			if info.Size != 5 {
+				t.Fatalf("sentinel size corrupted to %d by path %q", info.Size, path)
+			}
+			got := make([]byte, 5)
+			if err := fs.ReadFile("/dir/sentinel", got, 0); err != nil || string(got) != "guard" {
+				t.Fatalf("sentinel contents corrupted by path %q", path)
+			}
+		}
+	})
+}

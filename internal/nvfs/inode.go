@@ -1,0 +1,220 @@
+package nvfs
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// inode is the in-memory form of one 64-byte on-store inode.
+//
+// On-store layout:
+//
+//	kind u8 | pad [3]u8 | size u32 | direct [12]u32 | indirect u32
+type inode struct {
+	kind     uint8
+	size     uint32
+	direct   [directPointers]uint32
+	indirect uint32
+}
+
+func (fs *FS) inodeOffset(n uint32) int64 {
+	return int64(fs.inodeStart)*BlockSize + int64(n)*inodeSize
+}
+
+func (fs *FS) readInode(n uint32) (*inode, error) {
+	if n >= fs.nInodes {
+		return nil, fmt.Errorf("nvfs: inode %d out of range", n)
+	}
+	var buf [inodeSize]byte
+	if err := fs.store.ReadAt(buf[:], fs.inodeOffset(n)); err != nil {
+		return nil, err
+	}
+	ino := &inode{
+		kind: buf[0],
+		size: binary.LittleEndian.Uint32(buf[4:]),
+	}
+	for i := 0; i < directPointers; i++ {
+		ino.direct[i] = binary.LittleEndian.Uint32(buf[8+4*i:])
+	}
+	ino.indirect = binary.LittleEndian.Uint32(buf[8+4*directPointers:])
+	return ino, nil
+}
+
+func (fs *FS) writeInode(n uint32, ino *inode) error {
+	if n >= fs.nInodes {
+		return fmt.Errorf("nvfs: inode %d out of range", n)
+	}
+	var buf [inodeSize]byte
+	buf[0] = ino.kind
+	binary.LittleEndian.PutUint32(buf[4:], ino.size)
+	for i := 0; i < directPointers; i++ {
+		binary.LittleEndian.PutUint32(buf[8+4*i:], ino.direct[i])
+	}
+	binary.LittleEndian.PutUint32(buf[8+4*directPointers:], ino.indirect)
+	return fs.store.WriteAt(buf[:], fs.inodeOffset(n))
+}
+
+// allocInode finds a free inode (linear scan; inode 0 is the root).
+func (fs *FS) allocInode(kind uint8) (uint32, error) {
+	for n := uint32(1); n < fs.nInodes; n++ {
+		ino, err := fs.readInode(n)
+		if err != nil {
+			return 0, err
+		}
+		if ino.kind == kindFree {
+			fresh := inode{kind: kind}
+			if err := fs.writeInode(n, &fresh); err != nil {
+				return 0, err
+			}
+			return n, nil
+		}
+	}
+	return 0, ErrNoInodes
+}
+
+// --- block allocation ---------------------------------------------------
+
+// allocBlock finds, marks, and zeroes a free data block. Block number 0
+// is never handed out (it is the superblock), so 0 doubles as the nil
+// pointer in inodes.
+func (fs *FS) allocBlock() (uint32, error) {
+	var word [8]byte
+	bitmapBase := int64(fs.bitmapStart) * BlockSize
+	// Scan 64-block words; word w's bit i is block w*64+i, so the scan
+	// must be word-aligned regardless of where dataStart falls.
+	firstWord := int64(fs.dataStart) / 64
+	lastWord := (int64(fs.nBlocks) + 63) / 64
+	for w := firstWord; w < lastWord; w++ {
+		off := bitmapBase + w*8
+		if err := fs.store.ReadAt(word[:], off); err != nil {
+			return 0, err
+		}
+		bits := binary.LittleEndian.Uint64(word[:])
+		if bits == ^uint64(0) {
+			continue
+		}
+		for i := 0; i < 64; i++ {
+			blk := w*64 + int64(i)
+			if blk < int64(fs.dataStart) {
+				continue
+			}
+			if blk >= int64(fs.nBlocks) {
+				break
+			}
+			if bits&(1<<uint(i)) == 0 {
+				bits |= 1 << uint(i)
+				binary.LittleEndian.PutUint64(word[:], bits)
+				if err := fs.store.WriteAt(word[:], off); err != nil {
+					return 0, err
+				}
+				zero := make([]byte, BlockSize)
+				if err := fs.store.WriteAt(zero, blk*BlockSize); err != nil {
+					return 0, err
+				}
+				return uint32(blk), nil
+			}
+		}
+	}
+	return 0, ErrNoSpace
+}
+
+// freeBlock clears a block's bitmap bit. Freeing block 0 is a no-op (nil
+// pointer).
+func (fs *FS) freeBlock(blk uint32) error {
+	if blk == 0 {
+		return nil
+	}
+	if blk < fs.dataStart || blk >= fs.nBlocks {
+		return fmt.Errorf("nvfs: free of metadata block %d", blk)
+	}
+	off := int64(fs.bitmapStart)*BlockSize + int64(blk)/8
+	var b [1]byte
+	if err := fs.store.ReadAt(b[:], off); err != nil {
+		return err
+	}
+	b[0] &^= 1 << uint(blk%8)
+	return fs.store.WriteAt(b[:], off)
+}
+
+// --- file block mapping ---------------------------------------------------
+
+// blockFor returns the data block holding file block index bi, allocating
+// (and wiring) it if alloc is set. Returns 0 when the block is a hole and
+// alloc is false.
+func (fs *FS) blockFor(n uint32, ino *inode, bi int, alloc bool) (uint32, error) {
+	if bi < directPointers {
+		blk := ino.direct[bi]
+		if blk == 0 && alloc {
+			var err error
+			if blk, err = fs.allocBlock(); err != nil {
+				return 0, err
+			}
+			ino.direct[bi] = blk
+			if err := fs.writeInode(n, ino); err != nil {
+				return 0, err
+			}
+		}
+		return blk, nil
+	}
+	ii := bi - directPointers
+	if ii >= ptrsPerBlock {
+		return 0, ErrFileTooBig
+	}
+	if ino.indirect == 0 {
+		if !alloc {
+			return 0, nil
+		}
+		blk, err := fs.allocBlock()
+		if err != nil {
+			return 0, err
+		}
+		ino.indirect = blk
+		if err := fs.writeInode(n, ino); err != nil {
+			return 0, err
+		}
+	}
+	var ptr [ptrSize]byte
+	ptrOff := int64(ino.indirect)*BlockSize + int64(ii)*ptrSize
+	if err := fs.store.ReadAt(ptr[:], ptrOff); err != nil {
+		return 0, err
+	}
+	blk := binary.LittleEndian.Uint32(ptr[:])
+	if blk == 0 && alloc {
+		var err error
+		if blk, err = fs.allocBlock(); err != nil {
+			return 0, err
+		}
+		binary.LittleEndian.PutUint32(ptr[:], blk)
+		if err := fs.store.WriteAt(ptr[:], ptrOff); err != nil {
+			return 0, err
+		}
+	}
+	return blk, nil
+}
+
+// truncate frees every block of the inode and zeroes its size.
+func (fs *FS) truncate(n uint32, ino *inode) error {
+	for i := 0; i < directPointers; i++ {
+		if err := fs.freeBlock(ino.direct[i]); err != nil {
+			return err
+		}
+		ino.direct[i] = 0
+	}
+	if ino.indirect != 0 {
+		var ptr [ptrSize]byte
+		for i := 0; i < ptrsPerBlock; i++ {
+			if err := fs.store.ReadAt(ptr[:], int64(ino.indirect)*BlockSize+int64(i)*ptrSize); err != nil {
+				return err
+			}
+			if err := fs.freeBlock(binary.LittleEndian.Uint32(ptr[:])); err != nil {
+				return err
+			}
+		}
+		if err := fs.freeBlock(ino.indirect); err != nil {
+			return err
+		}
+		ino.indirect = 0
+	}
+	ino.size = 0
+	return fs.writeInode(n, ino)
+}

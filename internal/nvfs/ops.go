@@ -1,0 +1,328 @@
+package nvfs
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// FileInfo describes one file or directory.
+type FileInfo struct {
+	Name  string
+	Size  int64
+	IsDir bool
+}
+
+// --- directory internals -------------------------------------------------
+
+// dirLookup scans dir (inode number dn, state dir) for name, returning
+// the child inode and the entry's byte offset within the directory file.
+func (fs *FS) dirLookup(dn uint32, dir *inode, name string) (uint32, int64, error) {
+	var entry [dirEntrySize]byte
+	for off := int64(0); off < int64(dir.size); off += dirEntrySize {
+		if err := fs.readFileAt(dn, dir, entry[:], off); err != nil {
+			return 0, 0, err
+		}
+		child := binary.LittleEndian.Uint32(entry[0:])
+		nameLen := int(entry[4])
+		if nameLen == 0 {
+			continue // free slot
+		}
+		if string(entry[5:5+nameLen]) == name {
+			return child, off, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("%w: %s", ErrNotExist, name)
+}
+
+// dirInsert adds an entry, reusing a free slot or extending the
+// directory file.
+func (fs *FS) dirInsert(dn uint32, dir *inode, name string, child uint32) error {
+	var entry [dirEntrySize]byte
+	slot := int64(dir.size)
+	for off := int64(0); off < int64(dir.size); off += dirEntrySize {
+		if err := fs.readFileAt(dn, dir, entry[:], off); err != nil {
+			return err
+		}
+		if entry[4] == 0 {
+			slot = off
+			break
+		}
+	}
+	entry = [dirEntrySize]byte{}
+	binary.LittleEndian.PutUint32(entry[0:], child)
+	entry[4] = byte(len(name))
+	copy(entry[5:], name)
+	return fs.writeFileAt(dn, dir, entry[:], slot)
+}
+
+// dirRemove clears the entry at off.
+func (fs *FS) dirRemove(dn uint32, dir *inode, off int64) error {
+	var zero [dirEntrySize]byte
+	return fs.writeFileAt(dn, dir, zero[:], off)
+}
+
+// dirEmpty reports whether the directory has no live entries.
+func (fs *FS) dirEmpty(dn uint32, dir *inode) (bool, error) {
+	var entry [dirEntrySize]byte
+	for off := int64(0); off < int64(dir.size); off += dirEntrySize {
+		if err := fs.readFileAt(dn, dir, entry[:], off); err != nil {
+			return false, err
+		}
+		if entry[4] != 0 {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// --- raw file IO against an inode ---------------------------------------
+
+// readFileAt fills p from the file's byte offset off; holes read as
+// zeros.
+func (fs *FS) readFileAt(n uint32, ino *inode, p []byte, off int64) error {
+	if off < 0 || off+int64(len(p)) > int64(ino.size) {
+		return fmt.Errorf("nvfs: read [%d,%d) outside file of %d bytes", off, off+int64(len(p)), ino.size)
+	}
+	for len(p) > 0 {
+		bi := int(off / BlockSize)
+		bo := int(off % BlockSize)
+		chunk := BlockSize - bo
+		if chunk > len(p) {
+			chunk = len(p)
+		}
+		blk, err := fs.blockFor(n, ino, bi, false)
+		if err != nil {
+			return err
+		}
+		if blk == 0 {
+			for i := 0; i < chunk; i++ {
+				p[i] = 0
+			}
+		} else if err := fs.store.ReadAt(p[:chunk], int64(blk)*BlockSize+int64(bo)); err != nil {
+			return err
+		}
+		p = p[chunk:]
+		off += int64(chunk)
+	}
+	return nil
+}
+
+// writeFileAt stores p at the file's byte offset off, allocating blocks
+// and growing the size as needed.
+func (fs *FS) writeFileAt(n uint32, ino *inode, p []byte, off int64) error {
+	if off < 0 {
+		return fmt.Errorf("nvfs: negative offset %d", off)
+	}
+	if off+int64(len(p)) > MaxFileSize {
+		return ErrFileTooBig
+	}
+	end := off + int64(len(p))
+	for len(p) > 0 {
+		bi := int(off / BlockSize)
+		bo := int(off % BlockSize)
+		chunk := BlockSize - bo
+		if chunk > len(p) {
+			chunk = len(p)
+		}
+		blk, err := fs.blockFor(n, ino, bi, true)
+		if err != nil {
+			return err
+		}
+		if err := fs.store.WriteAt(p[:chunk], int64(blk)*BlockSize+int64(bo)); err != nil {
+			return err
+		}
+		p = p[chunk:]
+		off += int64(chunk)
+	}
+	if end > int64(ino.size) {
+		ino.size = uint32(end)
+		return fs.writeInode(n, ino)
+	}
+	return nil
+}
+
+// --- public API -----------------------------------------------------------
+
+// Create makes an empty file at path. The parent directory must exist.
+func (fs *FS) Create(path string) error {
+	dn, dir, name, err := fs.resolveParent(path)
+	if err != nil {
+		return err
+	}
+	if _, _, err := fs.dirLookup(dn, dir, name); err == nil {
+		return fmt.Errorf("%w: %s", ErrExist, path)
+	}
+	// Order: inode first, directory entry last — a crash between the two
+	// leaks an inode but never publishes a dangling name.
+	child, err := fs.allocInode(kindFile)
+	if err != nil {
+		return err
+	}
+	return fs.dirInsert(dn, dir, name, child)
+}
+
+// Mkdir makes an empty directory at path.
+func (fs *FS) Mkdir(path string) error {
+	dn, dir, name, err := fs.resolveParent(path)
+	if err != nil {
+		return err
+	}
+	if _, _, err := fs.dirLookup(dn, dir, name); err == nil {
+		return fmt.Errorf("%w: %s", ErrExist, path)
+	}
+	child, err := fs.allocInode(kindDir)
+	if err != nil {
+		return err
+	}
+	return fs.dirInsert(dn, dir, name, child)
+}
+
+// WriteFile writes p at offset off in the file at path.
+func (fs *FS) WriteFile(path string, p []byte, off int64) error {
+	n, ino, err := fs.resolve(path)
+	if err != nil {
+		return err
+	}
+	if ino.kind == kindDir {
+		return fmt.Errorf("%w: %s", ErrIsDir, path)
+	}
+	return fs.writeFileAt(n, ino, p, off)
+}
+
+// ReadFile fills p from offset off in the file at path.
+func (fs *FS) ReadFile(path string, p []byte, off int64) error {
+	n, ino, err := fs.resolve(path)
+	if err != nil {
+		return err
+	}
+	if ino.kind == kindDir {
+		return fmt.Errorf("%w: %s", ErrIsDir, path)
+	}
+	return fs.readFileAt(n, ino, p, off)
+}
+
+// Stat describes the file or directory at path.
+func (fs *FS) Stat(path string) (FileInfo, error) {
+	_, ino, err := fs.resolve(path)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	parts, _ := splitPath(path)
+	name := "/"
+	if len(parts) > 0 {
+		name = parts[len(parts)-1]
+	}
+	return FileInfo{Name: name, Size: int64(ino.size), IsDir: ino.kind == kindDir}, nil
+}
+
+// ReadDir lists the entries of the directory at path.
+func (fs *FS) ReadDir(path string) ([]FileInfo, error) {
+	dn, dir, err := fs.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	if dir.kind != kindDir {
+		return nil, fmt.Errorf("%w: %s", ErrNotDir, path)
+	}
+	var out []FileInfo
+	var entry [dirEntrySize]byte
+	for off := int64(0); off < int64(dir.size); off += dirEntrySize {
+		if err := fs.readFileAt(dn, dir, entry[:], off); err != nil {
+			return nil, err
+		}
+		nameLen := int(entry[4])
+		if nameLen == 0 {
+			continue
+		}
+		child := binary.LittleEndian.Uint32(entry[0:])
+		ino, err := fs.readInode(child)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, FileInfo{
+			Name:  string(entry[5 : 5+nameLen]),
+			Size:  int64(ino.size),
+			IsDir: ino.kind == kindDir,
+		})
+	}
+	return out, nil
+}
+
+// Remove deletes the file or empty directory at path.
+func (fs *FS) Remove(path string) error {
+	dn, dir, name, err := fs.resolveParent(path)
+	if err != nil {
+		return err
+	}
+	child, entryOff, err := fs.dirLookup(dn, dir, name)
+	if err != nil {
+		return err
+	}
+	ino, err := fs.readInode(child)
+	if err != nil {
+		return err
+	}
+	if ino.kind == kindDir {
+		empty, err := fs.dirEmpty(child, ino)
+		if err != nil {
+			return err
+		}
+		if !empty {
+			return fmt.Errorf("%w: %s", ErrNotEmpty, path)
+		}
+	}
+	// Order: unpublish the name first; a crash after this leaks blocks
+	// but never exposes freed state under a live name.
+	if err := fs.dirRemove(dn, dir, entryOff); err != nil {
+		return err
+	}
+	if err := fs.truncate(child, ino); err != nil {
+		return err
+	}
+	ino.kind = kindFree
+	return fs.writeInode(child, ino)
+}
+
+// Truncate resets the file at path to zero bytes.
+func (fs *FS) Truncate(path string) error {
+	n, ino, err := fs.resolve(path)
+	if err != nil {
+		return err
+	}
+	if ino.kind == kindDir {
+		return fmt.Errorf("%w: %s", ErrIsDir, path)
+	}
+	return fs.truncate(n, ino)
+}
+
+// Rename moves the file or directory at oldPath to newPath (which must
+// not exist). Both parents must already exist. The entry is inserted at
+// the destination before the source name is removed, so a crash between
+// the two leaves the object reachable (possibly under both names) rather
+// than lost.
+func (fs *FS) Rename(oldPath, newPath string) error {
+	odn, odir, oname, err := fs.resolveParent(oldPath)
+	if err != nil {
+		return err
+	}
+	child, oldOff, err := fs.dirLookup(odn, odir, oname)
+	if err != nil {
+		return err
+	}
+	ndn, ndir, nname, err := fs.resolveParent(newPath)
+	if err != nil {
+		return err
+	}
+	if _, _, err := fs.dirLookup(ndn, ndir, nname); err == nil {
+		return fmt.Errorf("%w: %s", ErrExist, newPath)
+	}
+	if err := fs.dirInsert(ndn, ndir, nname, child); err != nil {
+		return err
+	}
+	// Re-read the source directory state: if source and destination share
+	// a parent, the insert may have grown it.
+	if odn == ndn {
+		odir = ndir
+	}
+	return fs.dirRemove(odn, odir, oldOff)
+}

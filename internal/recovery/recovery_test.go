@@ -1,0 +1,177 @@
+package recovery
+
+import (
+	"bytes"
+	"testing"
+
+	"viyojit/internal/core"
+	"viyojit/internal/mmu"
+	"viyojit/internal/nvdram"
+	"viyojit/internal/power"
+	"viyojit/internal/sim"
+	"viyojit/internal/ssd"
+	"viyojit/internal/trace"
+)
+
+func TestRestoreRegionRoundTrip(t *testing.T) {
+	clock := sim.NewClock()
+	events := sim.NewQueue()
+	regionCfg := nvdram.Config{Size: 32 * 4096}
+	region, err := nvdram.New(clock, regionCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := ssd.New(clock, events, ssd.Config{})
+	mgr, err := core.NewManager(clock, events, region, dev, core.Config{DirtyBudgetPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Write recognisable data across several pages.
+	for p := 0; p < 12; p++ {
+		payload := bytes.Repeat([]byte{byte(p + 1)}, 100)
+		if err := region.WriteAt(payload, int64(p)*4096); err != nil {
+			t.Fatal(err)
+		}
+		mgr.Pump()
+	}
+
+	// Power failure with a battery that covers the budget.
+	pm := power.Default()
+	joules := pm.FlushWatts(region.Size()) * (dev.FlushTimeFor(8) + 10*sim.Millisecond).Seconds()
+	report := mgr.PowerFail(pm, joules)
+	if !report.Survived {
+		t.Fatal("power-fail flush did not survive")
+	}
+
+	// Reboot: restore a fresh region from the SSD.
+	clock2 := sim.NewClock()
+	restored, rr, err := RestoreRegion(clock2, dev, regionCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.PagesRestored == 0 || rr.RestoreTime <= 0 {
+		t.Fatalf("restore report = %+v", rr)
+	}
+	for p := 0; p < 12; p++ {
+		got := restored.RawPage(mmu.PageID(p))[:100]
+		want := bytes.Repeat([]byte{byte(p + 1)}, 100)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("page %d contents lost across power cycle", p)
+		}
+	}
+}
+
+func TestRestoreRegionPageSizeMismatch(t *testing.T) {
+	clock := sim.NewClock()
+	events := sim.NewQueue()
+	dev := ssd.New(clock, events, ssd.Config{PageSize: 8192})
+	if _, _, err := RestoreRegion(clock, dev, nvdram.Config{Size: 16 * 4096}); err == nil {
+		t.Fatal("page-size mismatch accepted")
+	}
+}
+
+func TestRestoreEmptySSD(t *testing.T) {
+	clock := sim.NewClock()
+	events := sim.NewQueue()
+	dev := ssd.New(clock, events, ssd.Config{})
+	region, rr, err := RestoreRegion(clock, dev, nvdram.Config{Size: 8 * 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.PagesRestored != 0 {
+		t.Fatalf("restored %d pages from an empty SSD", rr.PagesRestored)
+	}
+	for _, b := range region.RawPage(0) {
+		if b != 0 {
+			t.Fatal("fresh region not zeroed")
+		}
+	}
+}
+
+func TestAvailabilityMatchesPaperExample(t *testing.T) {
+	// §8: 4 TB at 4 GB/s ≈ 17 minutes of shutdown flush.
+	r, err := Availability(4<<40, 256<<30, 4<<30, 4<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mins := r.FullShutdownFlush.Seconds() / 60
+	if mins < 16 || mins > 18 {
+		t.Fatalf("full shutdown = %v minutes, want ~17", mins)
+	}
+	// Bounding to 1/16 of DRAM must cut the flush 16×.
+	if r.SpeedUp < 15.9 || r.SpeedUp > 16.1 {
+		t.Fatalf("speed-up = %v, want 16", r.SpeedUp)
+	}
+	if r.BoundedShutdownFlush >= r.FullShutdownFlush {
+		t.Fatal("bounded flush not shorter")
+	}
+}
+
+func TestAvailabilityValidation(t *testing.T) {
+	cases := []struct{ dram, budget, wbw, rbw int64 }{
+		{0, 1, 1, 1},
+		{10, 0, 1, 1},
+		{10, 20, 1, 1}, // budget > dram
+		{10, 5, 0, 1},
+		{10, 5, 1, 0},
+	}
+	for _, c := range cases {
+		if _, err := Availability(c.dram, c.budget, c.wbw, c.rbw); err == nil {
+			t.Errorf("Availability(%+v) accepted", c)
+		}
+	}
+}
+
+func TestWarmupComparison(t *testing.T) {
+	v, err := trace.Generate(trace.VolumeSpec{
+		Name:                   "warmup",
+		SizeBytes:              64 << 20,
+		WorstHourWriteFraction: 0.1,
+		Skew:                   trace.SkewZipf,
+		Theta:                  0.9,
+		TouchedFraction:        0.5,
+	}, trace.Hour, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := WarmupComparison(v, 3<<30, 100*sim.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On-demand answers its first request long before the sequential
+	// reload finishes (§8's availability argument).
+	if rep.OnDemandFirstAccess >= rep.SequentialReady {
+		t.Fatalf("on-demand first access %v not before sequential ready %v",
+			rep.OnDemandFirstAccess, rep.SequentialReady)
+	}
+	if rep.AvailabilityGain <= 0 {
+		t.Fatal("no availability gain computed")
+	}
+	// The penalty is bounded: at most one fetch per access.
+	if rep.PenalisedAccesses > rep.TotalAccesses {
+		t.Fatalf("penalised %d of %d accesses", rep.PenalisedAccesses, rep.TotalAccesses)
+	}
+	if rep.OnDemandPenalty != sim.Duration(rep.PenalisedAccesses)*100*sim.Microsecond {
+		t.Fatal("penalty accounting inconsistent")
+	}
+}
+
+func TestWarmupValidation(t *testing.T) {
+	if _, err := WarmupComparison(nil, 1, 1); err == nil {
+		t.Fatal("nil volume accepted")
+	}
+	v, err := trace.Generate(trace.VolumeSpec{
+		Name: "w", SizeBytes: 1 << 20, WorstHourWriteFraction: 0.1,
+		Skew: trace.SkewZipf, Theta: 0.9, TouchedFraction: 0.5,
+	}, trace.Hour, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WarmupComparison(v, 0, 1); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+	if _, err := WarmupComparison(v, 1, 0); err == nil {
+		t.Fatal("zero latency accepted")
+	}
+}

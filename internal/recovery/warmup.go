@@ -1,0 +1,84 @@
+package recovery
+
+import (
+	"fmt"
+
+	"viyojit/internal/sim"
+	"viyojit/internal/trace"
+)
+
+// §8 of the paper notes that while shutdown flush time has "no respite"
+// without dirty bounding, start-up CAN be optimised "by fetching pages
+// from SSD to DRAM on demand while sequentially reading data in the
+// background after the OS boots". WarmupComparison quantifies that
+// optimisation for a given access pattern: how long until the
+// application serves its first request, and what per-access penalty it
+// pays until the background reload completes.
+
+// WarmupReport compares the two restore strategies for one access trace.
+type WarmupReport struct {
+	DRAMBytes int64
+	// SequentialReady is when the application can start under the naive
+	// strategy: after the full sequential reload.
+	SequentialReady sim.Duration
+	// OnDemandFirstAccess is when the first request completes under
+	// on-demand faulting (immediately, plus one page fetch).
+	OnDemandFirstAccess sim.Duration
+	// OnDemandPenalty is the total extra time requests spent waiting for
+	// on-demand page fetches before the background reload caught up.
+	OnDemandPenalty sim.Duration
+	// PenalisedAccesses counts accesses that had to fetch their page.
+	PenalisedAccesses int
+	// TotalAccesses is the trace length considered.
+	TotalAccesses int
+	// AvailabilityGain is SequentialReady − OnDemandFirstAccess: how much
+	// sooner the service answers its first request.
+	AvailabilityGain sim.Duration
+}
+
+// WarmupComparison models both restore strategies for a volume's access
+// trace. readBandwidth is the SSD's sequential read bandwidth;
+// pageFetchLatency the cost of one random on-demand page read.
+func WarmupComparison(v *trace.Volume, readBandwidth int64, pageFetchLatency sim.Duration) (WarmupReport, error) {
+	if v == nil || len(v.Events) == 0 {
+		return WarmupReport{}, fmt.Errorf("recovery: empty volume trace")
+	}
+	if readBandwidth <= 0 {
+		return WarmupReport{}, fmt.Errorf("recovery: non-positive read bandwidth %d", readBandwidth)
+	}
+	if pageFetchLatency <= 0 {
+		return WarmupReport{}, fmt.Errorf("recovery: non-positive fetch latency %v", pageFetchLatency)
+	}
+	pageSize := v.Spec.PageSize
+	if pageSize == 0 {
+		pageSize = 4096
+	}
+
+	rep := WarmupReport{
+		DRAMBytes:     v.Spec.SizeBytes,
+		TotalAccesses: len(v.Events),
+	}
+	rep.SequentialReady = sim.Duration(float64(v.Spec.SizeBytes) / float64(readBandwidth) * float64(sim.Second))
+	rep.OnDemandFirstAccess = pageFetchLatency
+
+	// The background reload sweeps pages in order at readBandwidth; an
+	// access to a page the sweep has not reached yet pays the fetch
+	// latency (the fetched page is then resident).
+	perPage := sim.Duration(float64(pageSize) / float64(readBandwidth) * float64(sim.Second))
+	resident := make(map[int64]bool)
+	for _, e := range v.Events {
+		// Pages the sweep has loaded by this event's (trace) time.
+		sweepFront := int64(0)
+		if perPage > 0 {
+			sweepFront = int64(e.At) / int64(perPage)
+		}
+		if e.Page < sweepFront || resident[e.Page] {
+			continue
+		}
+		rep.OnDemandPenalty += pageFetchLatency
+		rep.PenalisedAccesses++
+		resident[e.Page] = true
+	}
+	rep.AvailabilityGain = rep.SequentialReady - rep.OnDemandFirstAccess
+	return rep, nil
+}

@@ -1,0 +1,136 @@
+// Package scaling models the technology-growth gap that motivates the
+// paper (§2.2, Fig 1): DRAM capacity per rack unit has grown more than
+// four orders of magnitude since 1990 while lithium battery energy
+// density grew only ~3.3×, so batteries sized to back up all of DRAM
+// cannot keep scaling. It also provides the §2.2 worked sizing example
+// (4 TB server → ~300 KJ → ~10× a phone battery, ≥25× after real-world
+// deratings).
+package scaling
+
+import (
+	"fmt"
+	"math"
+
+	"viyojit/internal/battery"
+	"viyojit/internal/power"
+)
+
+// Fig-1 anchor points from the paper: over 1990–2015, DRAM GB/RU grew
+// more than 50,000× and Li-ion J/volume ≈ 3.3×.
+const (
+	baseYear        = 1990
+	anchorYear      = 2015
+	dramGrowth25y   = 50_000.0
+	lithiumGrowth25 = 3.3
+)
+
+// annualRate converts a 25-year growth factor into a per-year rate.
+func annualRate(growth25 float64) float64 {
+	return math.Pow(growth25, 1.0/float64(anchorYear-baseYear))
+}
+
+// DRAMRelativeGrowth returns DRAM capacity per rack unit in year,
+// relative to 1990 (=1.0). Years beyond 2015 are projected on the same
+// trend, as Fig 1 does.
+func DRAMRelativeGrowth(year int) float64 {
+	return math.Pow(annualRate(dramGrowth25y), float64(year-baseYear))
+}
+
+// LithiumRelativeGrowth returns Li-ion energy density in year, relative
+// to 1990 (=1.0).
+func LithiumRelativeGrowth(year int) float64 {
+	return math.Pow(annualRate(lithiumGrowth25), float64(year-baseYear))
+}
+
+// GrowthPoint is one Fig-1 sample.
+type GrowthPoint struct {
+	Year      int
+	DRAM      float64
+	Lithium   float64
+	Projected bool
+}
+
+// GrowthSeries returns Fig 1's two curves over [from, to] in steps of
+// step years. Points after 2015 are flagged as projected.
+func GrowthSeries(from, to, step int) ([]GrowthPoint, error) {
+	if from < baseYear || to < from || step <= 0 {
+		return nil, fmt.Errorf("scaling: bad series range [%d, %d] step %d", from, to, step)
+	}
+	var out []GrowthPoint
+	for y := from; y <= to; y += step {
+		out = append(out, GrowthPoint{
+			Year:      y,
+			DRAM:      DRAMRelativeGrowth(y),
+			Lithium:   LithiumRelativeGrowth(y),
+			Projected: y > anchorYear,
+		})
+	}
+	return out, nil
+}
+
+// Reference constants for the sizing example.
+const (
+	// PhoneBatteryJoules is a typical 2000 mAh, 3.7 V smartphone battery.
+	PhoneBatteryJoules = 2000.0 / 1000 * 3.7 * 3600 // ≈ 26.6 KJ
+
+	// DatacenterDensityPenalty: datacenter batteries use ~30% less dense
+	// material to support higher power levels (§2.2).
+	DatacenterDensityPenalty = 0.7
+)
+
+// SizingReport is the §2.2 worked example for a given server.
+type SizingReport struct {
+	DRAMBytes         int64
+	SSDWriteBandwidth int64
+	FlushSeconds      float64
+	FlushWatts        float64
+	EnergyJoules      float64 // raw energy to flush all DRAM
+	PhoneBatteryRatio float64 // raw volume as a multiple of a phone battery
+	EffectiveRatio    float64 // after DoD, derating, and density penalty
+	ProvisionedJoules float64 // nameplate joules to provision
+	EstimatedCostUSD  float64
+}
+
+// SizeFullBackup computes what a *full-DRAM* battery backup costs for a
+// server: the quantity Viyojit's dirty budget replaces. dod and derating
+// follow battery.Config semantics (0 selects 0.5 and 1.0).
+func SizeFullBackup(pm power.Model, dramBytes, ssdWriteBandwidth int64, dod, derating float64) SizingReport {
+	cfg := battery.ProvisionFor(pm, dramBytes, ssdWriteBandwidth, dramBytes, dod, derating)
+	energy := pm.FlushEnergyJoules(dramBytes, ssdWriteBandwidth, dramBytes)
+	flushSecs := power.FlushTime(dramBytes, ssdWriteBandwidth).Seconds()
+	return SizingReport{
+		DRAMBytes:         dramBytes,
+		SSDWriteBandwidth: ssdWriteBandwidth,
+		FlushSeconds:      flushSecs,
+		FlushWatts:        pm.FlushWatts(dramBytes),
+		EnergyJoules:      energy,
+		PhoneBatteryRatio: energy / PhoneBatteryJoules,
+		// Volume multiple after nameplate over-provisioning and the
+		// lower-density datacenter cells.
+		EffectiveRatio:    cfg.CapacityJoules / DatacenterDensityPenalty / PhoneBatteryJoules,
+		ProvisionedJoules: cfg.CapacityJoules,
+		// §2.2: "each server's battery may cost over 250$" for the 4 TB
+		// example; scale linearly with provisioned energy.
+		EstimatedCostUSD: 250 * cfg.CapacityJoules / referenceProvisionedJoules(pm),
+	}
+}
+
+// referenceProvisionedJoules is the §2.2 reference point (4 TB at 4 GB/s,
+// DoD 0.5) the $250 estimate is anchored to.
+func referenceProvisionedJoules(pm power.Model) float64 {
+	return battery.ProvisionFor(pm, 4<<40, 4<<30, 4<<40, 0.5, 1.0).CapacityJoules
+}
+
+// ViyojitBatteryRatio returns the battery reduction Viyojit achieves: the
+// energy for flushing budgetFraction of the DRAM relative to flushing all
+// of it. (Linear in the fraction — the point is that the *fraction* can
+// be ~0.11 per the paper's evaluation.)
+func ViyojitBatteryRatio(budgetFraction float64) float64 {
+	if budgetFraction < 0 {
+		return 0
+	}
+	if budgetFraction > 1 {
+		return 1
+	}
+	return budgetFraction
+}

@@ -1,0 +1,92 @@
+// Package sim provides the deterministic simulation substrate that every
+// other module in this repository is built on: a virtual clock measured in
+// nanoseconds, an event queue ordered by virtual time, and seeded random
+// number helpers.
+//
+// The Viyojit paper's evaluation ran on wall-clock time on an Azure VM.
+// This reproduction instead charges every modelled action (DRAM access,
+// protection trap, page-table update, TLB flush, SSD IO) to a virtual
+// clock, which makes every figure reproducible bit-for-bit and independent
+// of the host machine.
+package sim
+
+import "fmt"
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds. It mirrors
+// time.Duration's unit so the usual constants read naturally.
+type Duration int64
+
+// Common durations, mirroring the time package.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns the duration as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Milliseconds returns the duration as a floating-point number of
+// milliseconds.
+func (d Duration) Milliseconds() float64 { return float64(d) / float64(Millisecond) }
+
+// Microseconds returns the duration as a floating-point number of
+// microseconds.
+func (d Duration) Microseconds() float64 { return float64(d) / float64(Microsecond) }
+
+func (d Duration) String() string {
+	switch {
+	case d < Microsecond:
+		return fmt.Sprintf("%dns", int64(d))
+	case d < Millisecond:
+		return fmt.Sprintf("%.2fus", d.Microseconds())
+	case d < Second:
+		return fmt.Sprintf("%.2fms", d.Milliseconds())
+	default:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	}
+}
+
+func (t Time) String() string { return Duration(t).String() }
+
+// Clock is the virtual clock. The zero value is a clock at time zero,
+// ready to use. Clock is not safe for concurrent use; the simulation is
+// single-goroutine by design (see DESIGN.md §5).
+type Clock struct {
+	now Time
+}
+
+// NewClock returns a clock starting at time zero.
+func NewClock() *Clock { return &Clock{} }
+
+// Now returns the current virtual time.
+func (c *Clock) Now() Time { return c.now }
+
+// Advance moves the clock forward by d. Advancing by a negative duration
+// panics: virtual time is monotonic, and a negative charge is always a
+// bug in a cost model.
+func (c *Clock) Advance(d Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: Advance by negative duration %d", d))
+	}
+	c.now += Time(d)
+}
+
+// AdvanceTo moves the clock forward to t. It is a no-op if t is not after
+// the current time; the clock never moves backwards.
+func (c *Clock) AdvanceTo(t Time) {
+	if t > c.now {
+		c.now = t
+	}
+}

@@ -1,0 +1,92 @@
+package sim
+
+import "testing"
+
+func TestClockStartsAtZero(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 {
+		t.Fatalf("new clock at %v, want 0", c.Now())
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock()
+	c.Advance(5 * Microsecond)
+	c.Advance(3 * Millisecond)
+	want := Time(5*Microsecond + 3*Millisecond)
+	if c.Now() != want {
+		t.Fatalf("Now() = %v, want %v", c.Now(), want)
+	}
+}
+
+func TestClockAdvanceZeroIsNoop(t *testing.T) {
+	c := NewClock()
+	c.Advance(7)
+	c.Advance(0)
+	if c.Now() != 7 {
+		t.Fatalf("Now() = %v, want 7", c.Now())
+	}
+}
+
+func TestClockAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	NewClock().Advance(-1)
+}
+
+func TestClockAdvanceToNeverMovesBackwards(t *testing.T) {
+	c := NewClock()
+	c.Advance(100)
+	c.AdvanceTo(50)
+	if c.Now() != 100 {
+		t.Fatalf("AdvanceTo moved clock backwards: %v", c.Now())
+	}
+	c.AdvanceTo(200)
+	if c.Now() != 200 {
+		t.Fatalf("AdvanceTo(200): clock at %v", c.Now())
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500, "500ns"},
+		{2500, "2.50us"},
+		{3 * Millisecond, "3.00ms"},
+		{1500 * Millisecond, "1.500s"},
+	}
+	for _, tc := range cases {
+		if got := tc.d.String(); got != tc.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(tc.d), got, tc.want)
+		}
+	}
+}
+
+func TestDurationConversions(t *testing.T) {
+	d := 1500 * Microsecond
+	if d.Milliseconds() != 1.5 {
+		t.Errorf("Milliseconds() = %v, want 1.5", d.Milliseconds())
+	}
+	if d.Microseconds() != 1500 {
+		t.Errorf("Microseconds() = %v, want 1500", d.Microseconds())
+	}
+	if (2 * Second).Seconds() != 2 {
+		t.Errorf("Seconds() = %v, want 2", (2 * Second).Seconds())
+	}
+}
+
+func TestTimeAddSub(t *testing.T) {
+	t0 := Time(10)
+	t1 := t0.Add(25)
+	if t1 != 35 {
+		t.Fatalf("Add: got %v", t1)
+	}
+	if t1.Sub(t0) != 25 {
+		t.Fatalf("Sub: got %v", t1.Sub(t0))
+	}
+}

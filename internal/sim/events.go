@@ -1,0 +1,134 @@
+package sim
+
+import "container/heap"
+
+// Event is a callback scheduled to run at a point in virtual time.
+type Event struct {
+	At Time
+	Fn func(Time)
+
+	seq   uint64 // tie-break so same-time events run in schedule order
+	index int    // heap index; -1 once popped or cancelled
+}
+
+// Cancelled reports whether the event has been cancelled or already fired.
+func (e *Event) Cancelled() bool { return e.index == -1 && e.Fn == nil }
+
+// Queue is a priority queue of events ordered by virtual time. Events
+// scheduled for the same instant fire in the order they were scheduled.
+// The zero value is an empty queue ready to use.
+type Queue struct {
+	events eventHeap
+	seq    uint64
+}
+
+// NewQueue returns an empty event queue.
+func NewQueue() *Queue { return &Queue{} }
+
+// Schedule registers fn to run at time at and returns a handle that can be
+// passed to Cancel.
+func (q *Queue) Schedule(at Time, fn func(Time)) *Event {
+	e := &Event{At: at, Fn: fn, seq: q.seq}
+	q.seq++
+	heap.Push(&q.events, e)
+	return e
+}
+
+// Cancel removes a pending event from the queue. Cancelling an event that
+// has already fired (or was already cancelled) is a no-op.
+func (q *Queue) Cancel(e *Event) {
+	if e == nil || e.index < 0 {
+		return
+	}
+	heap.Remove(&q.events, e.index)
+	e.index = -1
+	e.Fn = nil
+}
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.events) }
+
+// NextAt returns the virtual time of the earliest pending event. The
+// second result is false if the queue is empty.
+func (q *Queue) NextAt() (Time, bool) {
+	if len(q.events) == 0 {
+		return 0, false
+	}
+	return q.events[0].At, true
+}
+
+// RunUntil fires, in order, every event scheduled at or before t, advancing
+// the clock to each event's time before invoking it. Events may schedule
+// further events; newly scheduled events at or before t also fire. After
+// RunUntil returns, the clock is at max(t, clock time on entry).
+func (q *Queue) RunUntil(c *Clock, t Time) {
+	for len(q.events) > 0 && q.events[0].At <= t {
+		e := heap.Pop(&q.events).(*Event)
+		e.index = -1
+		fn := e.Fn
+		e.Fn = nil
+		c.AdvanceTo(e.At)
+		fn(e.At)
+	}
+	c.AdvanceTo(t)
+}
+
+// Step fires exactly the earliest pending event, advancing the clock to
+// its time, and reports whether an event fired. It is the building block
+// for "virtually blocking" callers that must wait for the next completion
+// while letting unrelated events (epoch ticks, other IOs) fire in order.
+func (q *Queue) Step(c *Clock) bool {
+	if len(q.events) == 0 {
+		return false
+	}
+	at := q.events[0].At
+	e := heap.Pop(&q.events).(*Event)
+	e.index = -1
+	fn := e.Fn
+	e.Fn = nil
+	c.AdvanceTo(at)
+	fn(at)
+	return true
+}
+
+// Drain fires every pending event in time order, advancing the clock along
+// the way, until the queue is empty.
+func (q *Queue) Drain(c *Clock) {
+	for len(q.events) > 0 {
+		at := q.events[0].At
+		q.RunUntil(c, at)
+	}
+}
+
+// eventHeap implements container/heap ordered by (At, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

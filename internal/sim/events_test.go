@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestQueueFiresInTimeOrder(t *testing.T) {
+	q := NewQueue()
+	c := NewClock()
+	var got []Time
+	for _, at := range []Time{30, 10, 20} {
+		at := at
+		q.Schedule(at, func(now Time) { got = append(got, now) })
+	}
+	q.RunUntil(c, 100)
+	want := []Time{10, 20, 30}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d fired at %v, want %v", i, got[i], want[i])
+		}
+	}
+	if c.Now() != 100 {
+		t.Fatalf("clock at %v after RunUntil(100)", c.Now())
+	}
+}
+
+func TestQueueSameTimeFIFO(t *testing.T) {
+	q := NewQueue()
+	c := NewClock()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		q.Schedule(50, func(Time) { order = append(order, i) })
+	}
+	q.RunUntil(c, 50)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events fired out of order: %v", order)
+		}
+	}
+}
+
+func TestQueueRunUntilLeavesLaterEvents(t *testing.T) {
+	q := NewQueue()
+	c := NewClock()
+	fired := 0
+	q.Schedule(10, func(Time) { fired++ })
+	q.Schedule(200, func(Time) { fired++ })
+	q.RunUntil(c, 100)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("queue len = %d, want 1", q.Len())
+	}
+	at, ok := q.NextAt()
+	if !ok || at != 200 {
+		t.Fatalf("NextAt() = %v, %v; want 200, true", at, ok)
+	}
+}
+
+func TestQueueCancel(t *testing.T) {
+	q := NewQueue()
+	c := NewClock()
+	fired := false
+	e := q.Schedule(10, func(Time) { fired = true })
+	q.Cancel(e)
+	q.Cancel(e) // double-cancel is a no-op
+	q.Cancel(nil)
+	q.RunUntil(c, 100)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !e.Cancelled() {
+		t.Fatal("Cancelled() = false after cancel")
+	}
+}
+
+func TestQueueEventsScheduleEvents(t *testing.T) {
+	q := NewQueue()
+	c := NewClock()
+	var got []Time
+	q.Schedule(10, func(now Time) {
+		got = append(got, now)
+		q.Schedule(now.Add(5), func(now2 Time) { got = append(got, now2) })
+	})
+	q.RunUntil(c, 100)
+	if len(got) != 2 || got[0] != 10 || got[1] != 15 {
+		t.Fatalf("chained events fired at %v, want [10 15]", got)
+	}
+}
+
+func TestQueueDrain(t *testing.T) {
+	q := NewQueue()
+	c := NewClock()
+	n := 0
+	for i := Time(1); i <= 10; i++ {
+		q.Schedule(i*7, func(Time) { n++ })
+	}
+	q.Drain(c)
+	if n != 10 {
+		t.Fatalf("drained %d events, want 10", n)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not empty after Drain: %d", q.Len())
+	}
+	if c.Now() != 70 {
+		t.Fatalf("clock at %v after Drain, want 70", c.Now())
+	}
+}
+
+// Property: for any set of scheduled times, events fire in sorted order and
+// the count matches.
+func TestQueueOrderingProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		q := NewQueue()
+		c := NewClock()
+		var fired []Time
+		for _, at := range times {
+			q.Schedule(Time(at), func(now Time) { fired = append(fired, now) })
+		}
+		q.Drain(c)
+		if len(fired) != len(times) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

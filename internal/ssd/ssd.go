@@ -1,0 +1,286 @@
+// Package ssd models the flash SSD that backs the NV-DRAM: the durability
+// domain Viyojit copies dirty pages into. The model captures what the
+// paper's mechanism depends on — finite write bandwidth, per-IO latency, a
+// bounded number of outstanding requests (16 in the paper's experiments),
+// verifiable durable contents, and wear accounting — while staying on the
+// deterministic virtual clock.
+package ssd
+
+import (
+	"fmt"
+
+	"viyojit/internal/mmu"
+	"viyojit/internal/sim"
+)
+
+// Config describes the device.
+type Config struct {
+	// PageSize is the transfer unit in bytes; it must match the NV-DRAM
+	// page size. 0 selects 4096.
+	PageSize int
+	// WriteBandwidth is the sustained write bandwidth in bytes/second.
+	// 0 selects 2 GB/s (a mid-range datacenter NVMe drive; the paper's
+	// sizing example assumes 4 GB/s, which cmd/battery-calc uses).
+	WriteBandwidth int64
+	// ReadBandwidth is the sustained read bandwidth in bytes/second.
+	// 0 selects 3 GB/s.
+	ReadBandwidth int64
+	// PerIOLatency is the fixed device latency added to every IO.
+	// 0 selects 60 µs (a 2017-era datacenter SSD write).
+	PerIOLatency sim.Duration
+	// MaxOutstanding bounds the number of in-flight IOs; submissions
+	// beyond the bound virtually block until a slot frees. 0 selects 16,
+	// the value the paper's evaluation fixes.
+	MaxOutstanding int
+	// Dedup enables content-addressed write deduplication (§7's
+	// suggested traffic reduction): duplicate page contents transfer
+	// only a fingerprint record.
+	Dedup bool
+	// Compression enables transfer-size compression (§7): the bus cost
+	// of a write is its estimated compressed size.
+	Compression bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.PageSize == 0 {
+		c.PageSize = 4096
+	}
+	if c.WriteBandwidth == 0 {
+		c.WriteBandwidth = 2 << 30
+	}
+	if c.ReadBandwidth == 0 {
+		c.ReadBandwidth = 3 << 30
+	}
+	if c.PerIOLatency == 0 {
+		c.PerIOLatency = 60 * sim.Microsecond
+	}
+	if c.MaxOutstanding == 0 {
+		c.MaxOutstanding = 16
+	}
+	return c
+}
+
+// Stats counts device activity since construction.
+type Stats struct {
+	WritesSubmitted uint64
+	WritesCompleted uint64
+	ReadsCompleted  uint64
+	BytesWritten    uint64
+	BytesRead       uint64
+	SubmitStalls    uint64 // submissions that had to wait for a queue slot
+	MaxQueueDepth   int
+	BusyUntil       sim.Time // device busy horizon (for utilisation)
+	TotalWriteLag   sim.Duration
+	completedForAvg uint64
+}
+
+// AvgWriteLatency returns the mean submit-to-completion latency of
+// completed writes.
+func (s Stats) AvgWriteLatency() sim.Duration {
+	if s.completedForAvg == 0 {
+		return 0
+	}
+	return s.TotalWriteLag / sim.Duration(s.completedForAvg)
+}
+
+// SSD is the device model. It is not safe for concurrent use; all activity
+// happens on the owning simulation's goroutine.
+type SSD struct {
+	clock  *sim.Clock
+	events *sim.Queue
+	cfg    Config
+
+	store     map[mmu.PageID][]byte // durable page contents
+	dedup     map[uint64]struct{}   // content fingerprints (Dedup)
+	inflight  int
+	bandwidth sim.Time // next time the write channel is free
+	stats     Stats
+	reduction ReductionStats
+}
+
+// New creates an SSD on the given clock and event queue. The event queue
+// must be the simulation's shared queue: IO completions are delivered
+// through it so they interleave correctly with epoch ticks and other
+// events.
+func New(clock *sim.Clock, events *sim.Queue, cfg Config) *SSD {
+	return &SSD{
+		clock:  clock,
+		events: events,
+		cfg:    cfg.withDefaults(),
+		store:  make(map[mmu.PageID][]byte),
+	}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (d *SSD) Config() Config { return d.cfg }
+
+// Stats returns a snapshot of the counters.
+func (d *SSD) Stats() Stats { return d.stats }
+
+// Outstanding returns the number of in-flight IOs.
+func (d *SSD) Outstanding() int { return d.inflight }
+
+// transferTime returns the bandwidth cost of moving n bytes at bw
+// bytes/sec.
+func transferTime(n int, bw int64) sim.Duration {
+	return sim.Duration(int64(n) * int64(sim.Second) / bw)
+}
+
+// WritePageAsync submits a durable write of data to page. If the device
+// queue is full the submission virtually blocks — events (including other
+// completions) fire — until a slot frees. onComplete, if non-nil, runs at
+// the IO's completion time. The data slice is retained until completion;
+// callers must pass an unshared copy (nvdram.Region.PageData does).
+func (d *SSD) WritePageAsync(page mmu.PageID, data []byte, onComplete func(sim.Time)) {
+	if len(data) != d.cfg.PageSize {
+		panic(fmt.Sprintf("ssd: write of %d bytes, want page size %d", len(data), d.cfg.PageSize))
+	}
+	for d.inflight >= d.cfg.MaxOutstanding {
+		d.stats.SubmitStalls++
+		if !d.events.Step(d.clock) {
+			panic("ssd: queue full with no pending events; completion event lost")
+		}
+	}
+	d.inflight++
+	if d.inflight > d.stats.MaxQueueDepth {
+		d.stats.MaxQueueDepth = d.inflight
+	}
+	d.stats.WritesSubmitted++
+
+	submitted := d.clock.Now()
+	start := submitted
+	if d.bandwidth > start {
+		start = d.bandwidth
+	}
+	xfer := transferTime(d.transferBytes(data), d.cfg.WriteBandwidth)
+	d.bandwidth = start.Add(xfer)
+	done := d.bandwidth.Add(d.cfg.PerIOLatency)
+	if done > d.stats.BusyUntil {
+		d.stats.BusyUntil = done
+	}
+
+	d.events.Schedule(done, func(at sim.Time) {
+		d.store[page] = data
+		d.inflight--
+		d.stats.WritesCompleted++
+		d.stats.BytesWritten += uint64(len(data))
+		d.stats.TotalWriteLag += at.Sub(submitted)
+		d.stats.completedForAvg++
+		if onComplete != nil {
+			onComplete(at)
+		}
+	})
+}
+
+// WritePageSync submits a write and virtually blocks until it completes.
+// It returns the completion time.
+func (d *SSD) WritePageSync(page mmu.PageID, data []byte) sim.Time {
+	var doneAt sim.Time
+	finished := false
+	d.WritePageAsync(page, data, func(at sim.Time) {
+		doneAt = at
+		finished = true
+	})
+	for !finished {
+		if !d.events.Step(d.clock) {
+			panic("ssd: sync write never completed; completion event lost")
+		}
+	}
+	return doneAt
+}
+
+// WaitIdle virtually blocks until every in-flight IO has completed.
+func (d *SSD) WaitIdle() {
+	for d.inflight > 0 {
+		if !d.events.Step(d.clock) {
+			panic("ssd: in-flight IOs with no pending events")
+		}
+	}
+}
+
+// WriteBatch durably stores a set of pages as one streaming write: the
+// backup path taken on power failure, where pages are written out
+// sequentially at full device bandwidth rather than as latency-bound
+// random IOs. It waits for in-flight IOs first, charges one PerIOLatency
+// plus the aggregate transfer time, and returns the completion time.
+func (d *SSD) WriteBatch(pages map[mmu.PageID][]byte) sim.Time {
+	d.WaitIdle()
+	total := 0
+	for page, data := range pages {
+		if len(data) != d.cfg.PageSize {
+			panic(fmt.Sprintf("ssd: batch write of %d bytes to page %d, want page size %d", len(data), page, d.cfg.PageSize))
+		}
+		total += d.transferBytes(data)
+	}
+	if total == 0 {
+		return d.clock.Now()
+	}
+	d.clock.Advance(d.cfg.PerIOLatency + transferTime(total, d.cfg.WriteBandwidth))
+	for page, data := range pages {
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		d.store[page] = cp
+		d.stats.BytesWritten += uint64(len(data))
+		d.stats.WritesCompleted++
+		d.stats.WritesSubmitted++
+	}
+	return d.clock.Now()
+}
+
+// ReadPage synchronously reads a page's durable contents, returning a copy
+// (nil if the page was never written). Read bandwidth and latency are
+// charged.
+func (d *SSD) ReadPage(page mmu.PageID) []byte {
+	d.clock.Advance(d.cfg.PerIOLatency + transferTime(d.cfg.PageSize, d.cfg.ReadBandwidth))
+	d.stats.ReadsCompleted++
+	d.stats.BytesRead += uint64(d.cfg.PageSize)
+	data, ok := d.store[page]
+	if !ok {
+		return nil
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out
+}
+
+// SeedDurable installs contents into the durable store without modelling
+// an IO. It exists for power-cycle recovery: the "new" device object a
+// rebooted system constructs represents the same physical SSD, whose
+// contents survived, so seeding is a modelling operation, not a write.
+func (d *SSD) SeedDurable(page mmu.PageID, data []byte) {
+	if len(data) != d.cfg.PageSize {
+		panic(fmt.Sprintf("ssd: seed of %d bytes, want page size %d", len(data), d.cfg.PageSize))
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	d.store[page] = cp
+}
+
+// Durable returns the stored contents of page without charging time, for
+// durability verification. The returned slice must not be modified.
+func (d *SSD) Durable(page mmu.PageID) ([]byte, bool) {
+	data, ok := d.store[page]
+	return data, ok
+}
+
+// DurablePages returns the number of pages with durable contents.
+func (d *SSD) DurablePages() int { return len(d.store) }
+
+// FlushTimeFor returns the time needed to write n pages back-to-back at
+// the device's sustained bandwidth — the quantity battery provisioning is
+// computed from (paper §5.1).
+func (d *SSD) FlushTimeFor(nPages int) sim.Duration {
+	return transferTime(nPages*d.cfg.PageSize, d.cfg.WriteBandwidth)
+}
+
+// WearBytesPerCell returns total bytes written divided by capacity — a
+// proxy for program/erase wear given capacityBytes of flash. The paper's
+// portability goal (§4.3) is that dirty budgeting must not overwhelm the
+// SSD with write traffic; Fig 9 quantifies the write rate and this helper
+// supports the same accounting.
+func (d *SSD) WearBytesPerCell(capacityBytes int64) float64 {
+	if capacityBytes <= 0 {
+		return 0
+	}
+	return float64(d.stats.BytesWritten) / float64(capacityBytes)
+}

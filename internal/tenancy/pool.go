@@ -1,0 +1,256 @@
+// Package tenancy implements the paper's §6.3 deployment vision: battery
+// as a first-class, schedulable resource. A Pool divides one battery's
+// dirty budget among co-located tenants and periodically reallocates it
+// — "techniques similar to memory ballooning" — in proportion to each
+// tenant's dirty-page pressure, so bursty tenants borrow budget that
+// quiet tenants are not using (statistical multiplexing).
+//
+// Rebalancing is safe by construction: shrinking a tenant's budget goes
+// through core.Manager.SetDirtyBudget, which synchronously cleans the
+// tenant down before committing, and donors shrink before receivers
+// grow, so the sum of budgets never exceeds the battery's total.
+package tenancy
+
+import (
+	"fmt"
+
+	"viyojit/internal/core"
+	"viyojit/internal/sim"
+)
+
+// Tenant is one NV-DRAM consumer in the pool.
+type Tenant struct {
+	Name string
+	// Manager is the tenant's Viyojit manager.
+	Manager *core.Manager
+	// MinPages is the tenant's guaranteed floor: rebalancing never takes
+	// its budget below this.
+	MinPages int
+
+	granted int
+}
+
+// Granted returns the tenant's current budget grant in pages.
+func (t *Tenant) Granted() int { return t.granted }
+
+// Stats counts pool activity.
+type Stats struct {
+	Rebalances     uint64
+	PagesMoved     uint64
+	ShrinkFailures uint64
+}
+
+// Pool shares totalPages of dirty budget among tenants.
+type Pool struct {
+	clock  *sim.Clock
+	events *sim.Queue
+
+	totalPages int
+	tenants    []*Tenant
+	period     sim.Duration
+	event      *sim.Event
+	closed     bool
+
+	stats Stats
+}
+
+// NewPool creates a pool backed by totalPages of battery-derived budget,
+// rebalancing every period (0 selects 10 ms — several epochs, so the
+// pressure estimates have settled).
+func NewPool(clock *sim.Clock, events *sim.Queue, totalPages int, period sim.Duration) (*Pool, error) {
+	if totalPages < 1 {
+		return nil, fmt.Errorf("tenancy: total budget %d pages must be positive", totalPages)
+	}
+	if period == 0 {
+		period = 10 * sim.Millisecond
+	}
+	p := &Pool{clock: clock, events: events, totalPages: totalPages, period: period}
+	p.event = events.Schedule(clock.Now().Add(period), p.tick)
+	return p, nil
+}
+
+// Stats returns a snapshot of the counters.
+func (p *Pool) Stats() Stats { return p.stats }
+
+// Tenants returns the attached tenants.
+func (p *Pool) Tenants() []*Tenant { return p.tenants }
+
+// Attach adds a tenant and re-grants the pool's budget equally across all
+// tenants (respecting floors). The tenant's manager budget is overwritten
+// by the pool from now on.
+func (p *Pool) Attach(name string, mgr *core.Manager, minPages int) (*Tenant, error) {
+	if minPages < 1 {
+		minPages = 1
+	}
+	floors := minPages
+	for _, t := range p.tenants {
+		floors += t.MinPages
+	}
+	if floors > p.totalPages {
+		return nil, fmt.Errorf("tenancy: floors (%d pages) exceed the pool's %d", floors, p.totalPages)
+	}
+	t := &Tenant{Name: name, Manager: mgr, MinPages: minPages}
+	p.tenants = append(p.tenants, t)
+	p.grantEqually()
+	return t, nil
+}
+
+// grantEqually splits the budget evenly (plus floors), used at attach
+// time before pressure data exists.
+func (p *Pool) grantEqually() {
+	n := len(p.tenants)
+	if n == 0 {
+		return
+	}
+	share := p.totalPages / n
+	grants := make([]int, n)
+	rem := p.totalPages
+	for i, t := range p.tenants {
+		g := share
+		if g < t.MinPages {
+			g = t.MinPages
+		}
+		grants[i] = g
+		rem -= g
+	}
+	// Distribute any remainder (or recover any overshoot) left to right.
+	for i := 0; rem != 0 && i < n; i++ {
+		if rem > 0 {
+			grants[i]++
+			rem--
+		} else if grants[i] > p.tenants[i].MinPages {
+			grants[i]--
+			rem++
+		}
+	}
+	p.apply(grants)
+}
+
+// Rebalance reallocates the budget: each tenant keeps its floor, and the
+// surplus is shared in proportion to dirty-page pressure (with equal
+// shares when no tenant has pressure).
+func (p *Pool) Rebalance() {
+	n := len(p.tenants)
+	if n == 0 {
+		return
+	}
+	p.stats.Rebalances++
+
+	var totalPressure float64
+	pressures := make([]float64, n)
+	floors := 0
+	for i, t := range p.tenants {
+		pressures[i] = t.Manager.Pressure()
+		totalPressure += pressures[i]
+		floors += t.MinPages
+	}
+	surplus := p.totalPages - floors
+	grants := make([]int, n)
+	used := 0
+	for i, t := range p.tenants {
+		share := 0
+		if totalPressure > 0 {
+			share = int(float64(surplus) * pressures[i] / totalPressure)
+		} else {
+			share = surplus / n
+		}
+		grants[i] = t.MinPages + share
+		used += grants[i]
+	}
+	// Hand any rounding remainder to the most pressured tenant.
+	if rem := p.totalPages - used; rem > 0 {
+		best := 0
+		for i := 1; i < n; i++ {
+			if pressures[i] > pressures[best] {
+				best = i
+			}
+		}
+		grants[best] += rem
+	}
+	p.apply(grants)
+}
+
+// apply commits grants: donors shrink first (synchronously cleaning down
+// if needed), then receivers grow, so the durability bound across the
+// pool never exceeds the battery.
+func (p *Pool) apply(grants []int) {
+	type change struct {
+		t     *Tenant
+		grant int
+	}
+	var shrinks, grows []change
+	for i, t := range p.tenants {
+		g := grants[i]
+		if g == t.granted {
+			continue
+		}
+		if g < t.granted || t.granted == 0 {
+			shrinks = append(shrinks, change{t, g})
+		} else {
+			grows = append(grows, change{t, g})
+		}
+	}
+	for _, c := range shrinks {
+		if err := c.t.Manager.SetDirtyBudget(c.grant); err != nil {
+			p.stats.ShrinkFailures++
+			continue
+		}
+		p.stats.PagesMoved += uint64(abs(c.t.granted - c.grant))
+		c.t.granted = c.grant
+	}
+	for _, c := range grows {
+		if err := c.t.Manager.SetDirtyBudget(c.grant); err != nil {
+			p.stats.ShrinkFailures++
+			continue
+		}
+		p.stats.PagesMoved += uint64(abs(c.t.granted - c.grant))
+		c.t.granted = c.grant
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// tick is the periodic rebalance.
+func (p *Pool) tick(at sim.Time) {
+	if p.closed {
+		return
+	}
+	p.Rebalance()
+	p.event = p.events.Schedule(at.Add(p.period), p.tick)
+}
+
+// TotalGranted returns the sum of current grants (always ≤ the pool
+// total).
+func (p *Pool) TotalGranted() int {
+	sum := 0
+	for _, t := range p.tenants {
+		sum += t.granted
+	}
+	return sum
+}
+
+// Close stops the periodic rebalancing.
+func (p *Pool) Close() {
+	p.closed = true
+	p.events.Cancel(p.event)
+}
+
+// Detach removes a tenant from the pool, leaving its manager with its
+// current grant frozen (the operator is expected to re-derive that
+// tenant's budget from a dedicated battery). The freed share returns to
+// the pool at the next rebalance.
+func (p *Pool) Detach(t *Tenant) error {
+	for i, cur := range p.tenants {
+		if cur == t {
+			p.tenants = append(p.tenants[:i], p.tenants[i+1:]...)
+			p.Rebalance()
+			return nil
+		}
+	}
+	return fmt.Errorf("tenancy: tenant %q not in pool", t.Name)
+}

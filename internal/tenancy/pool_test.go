@@ -1,0 +1,203 @@
+package tenancy
+
+import (
+	"testing"
+
+	"viyojit/internal/core"
+	"viyojit/internal/nvdram"
+	"viyojit/internal/sim"
+	"viyojit/internal/ssd"
+)
+
+// tenv is one tenant's full stack on a shared clock/queue.
+type tenv struct {
+	region *nvdram.Region
+	mgr    *core.Manager
+}
+
+func newTenv(t testing.TB, clock *sim.Clock, events *sim.Queue, pages, budget int) *tenv {
+	t.Helper()
+	region, err := nvdram.New(clock, nvdram.Config{Size: int64(pages) * 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := ssd.New(clock, events, ssd.Config{})
+	mgr, err := core.NewManager(clock, events, region, dev, core.Config{DirtyBudgetPages: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &tenv{region: region, mgr: mgr}
+}
+
+func (e *tenv) write(t testing.TB, page int, b byte) {
+	t.Helper()
+	if err := e.region.WriteAt([]byte{b}, int64(page)*4096); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolValidation(t *testing.T) {
+	clock := sim.NewClock()
+	events := sim.NewQueue()
+	if _, err := NewPool(clock, events, 0, 0); err == nil {
+		t.Fatal("zero-budget pool accepted")
+	}
+	p, err := NewPool(clock, events, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := newTenv(t, clock, events, 64, 8)
+	if _, err := p.Attach("a", a.mgr, 8); err != nil {
+		t.Fatal(err)
+	}
+	b := newTenv(t, clock, events, 64, 8)
+	if _, err := p.Attach("b", b.mgr, 8); err == nil {
+		t.Fatal("floors exceeding pool accepted")
+	}
+}
+
+func TestAttachSplitsEqually(t *testing.T) {
+	clock := sim.NewClock()
+	events := sim.NewQueue()
+	p, _ := NewPool(clock, events, 100, 0)
+	a := newTenv(t, clock, events, 256, 10)
+	b := newTenv(t, clock, events, 256, 10)
+	ta, err := p.Attach("a", a.mgr, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := p.Attach("b", b.mgr, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ta.Granted()+tb.Granted() != 100 {
+		t.Fatalf("grants %d + %d != 100", ta.Granted(), tb.Granted())
+	}
+	if ta.Granted() != tb.Granted() {
+		t.Fatalf("grants unequal: %d vs %d", ta.Granted(), tb.Granted())
+	}
+	if a.mgr.DirtyBudget() != ta.Granted() {
+		t.Fatal("manager budget not synced with grant")
+	}
+}
+
+func TestRebalanceFollowsPressure(t *testing.T) {
+	clock := sim.NewClock()
+	events := sim.NewQueue()
+	p, _ := NewPool(clock, events, 128, 10*sim.Millisecond)
+	hot := newTenv(t, clock, events, 512, 16)
+	cold := newTenv(t, clock, events, 512, 16)
+	th, _ := p.Attach("hot", hot.mgr, 8)
+	tc, _ := p.Attach("cold", cold.mgr, 8)
+
+	// The hot tenant dirties fresh pages every epoch; the cold one is
+	// idle. Run past several rebalance periods.
+	page := 0
+	for step := 0; step < 40; step++ {
+		for i := 0; i < 6; i++ {
+			hot.write(t, page%512, byte(page+1))
+			page++
+		}
+		clock.Advance(sim.Millisecond)
+		events.RunUntil(clock, clock.Now())
+	}
+	if p.Stats().Rebalances == 0 {
+		t.Fatal("no rebalances happened")
+	}
+	if th.Granted() <= tc.Granted() {
+		t.Fatalf("pressured tenant granted %d ≤ idle tenant's %d", th.Granted(), tc.Granted())
+	}
+	if tc.Granted() < 8 {
+		t.Fatalf("idle tenant pushed below its floor: %d", tc.Granted())
+	}
+	if p.TotalGranted() > 128 {
+		t.Fatalf("grants %d exceed the pool's battery", p.TotalGranted())
+	}
+}
+
+func TestRebalanceNeverExceedsTotalMidway(t *testing.T) {
+	clock := sim.NewClock()
+	events := sim.NewQueue()
+	p, _ := NewPool(clock, events, 64, sim.Millisecond)
+	a := newTenv(t, clock, events, 256, 8)
+	b := newTenv(t, clock, events, 256, 8)
+	ta, _ := p.Attach("a", a.mgr, 4)
+	tb, _ := p.Attach("b", b.mgr, 4)
+
+	// Fill both tenants to their grants, then force many rebalances with
+	// asymmetric pressure; the combined dirty total must never exceed
+	// the pool.
+	for i := 0; i < ta.Granted(); i++ {
+		a.write(t, i, 1)
+	}
+	for i := 0; i < tb.Granted(); i++ {
+		b.write(t, i, 1)
+	}
+	page := 0
+	for step := 0; step < 30; step++ {
+		a.write(t, page%256, byte(step+1))
+		page++
+		clock.Advance(sim.Millisecond)
+		events.RunUntil(clock, clock.Now())
+		if sum := a.mgr.DirtyCount() + b.mgr.DirtyCount(); sum > 64 {
+			t.Fatalf("combined dirty %d exceeds pooled battery 64", sum)
+		}
+	}
+}
+
+func TestIdlePoolSharesEqually(t *testing.T) {
+	clock := sim.NewClock()
+	events := sim.NewQueue()
+	p, _ := NewPool(clock, events, 60, sim.Millisecond)
+	a := newTenv(t, clock, events, 64, 8)
+	b := newTenv(t, clock, events, 64, 8)
+	ta, _ := p.Attach("a", a.mgr, 5)
+	tb, _ := p.Attach("b", b.mgr, 5)
+	clock.Advance(10 * sim.Millisecond)
+	events.RunUntil(clock, clock.Now())
+	// With zero pressure everywhere, the surplus splits evenly.
+	if diff := abs(ta.Granted() - tb.Granted()); diff > 1 {
+		t.Fatalf("idle grants diverged: %d vs %d", ta.Granted(), tb.Granted())
+	}
+}
+
+func TestCloseStopsRebalancing(t *testing.T) {
+	clock := sim.NewClock()
+	events := sim.NewQueue()
+	p, _ := NewPool(clock, events, 64, sim.Millisecond)
+	a := newTenv(t, clock, events, 64, 8)
+	if _, err := p.Attach("a", a.mgr, 4); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	before := p.Stats().Rebalances
+	clock.Advance(20 * sim.Millisecond)
+	events.RunUntil(clock, clock.Now())
+	if p.Stats().Rebalances != before {
+		t.Fatal("rebalancing continued after Close")
+	}
+}
+
+func TestDetach(t *testing.T) {
+	clock := sim.NewClock()
+	events := sim.NewQueue()
+	p, _ := NewPool(clock, events, 64, 0)
+	a := newTenv(t, clock, events, 64, 8)
+	b := newTenv(t, clock, events, 64, 8)
+	ta, _ := p.Attach("a", a.mgr, 4)
+	tb, _ := p.Attach("b", b.mgr, 4)
+	if err := p.Detach(ta); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Tenants()) != 1 {
+		t.Fatalf("tenants after detach = %d", len(p.Tenants()))
+	}
+	// The remaining tenant inherits the whole pool at the forced
+	// rebalance.
+	if tb.Granted() != 64 {
+		t.Fatalf("remaining tenant granted %d, want 64", tb.Granted())
+	}
+	if err := p.Detach(ta); err == nil {
+		t.Fatal("double detach succeeded")
+	}
+}

@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestVolumeRoundTrip(t *testing.T) {
+	orig := mustGenerate(t, spec("round-trip", 0.1, SkewZipf, 0.9, 0, 0.5), Hour, 5)
+	var buf bytes.Buffer
+	n, err := orig.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, buffer holds %d", n, buf.Len())
+	}
+	got, err := ReadVolume(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Spec.Name != orig.Spec.Name || got.Spec.SizeBytes != orig.Spec.SizeBytes ||
+		got.Spec.PageSize != orig.Spec.PageSize || got.Duration != orig.Duration {
+		t.Fatalf("header mismatch: %+v vs %+v", got.Spec, orig.Spec)
+	}
+	if len(got.Events) != len(orig.Events) {
+		t.Fatalf("event counts: %d vs %d", len(got.Events), len(orig.Events))
+	}
+	for i := range got.Events {
+		if got.Events[i] != orig.Events[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, got.Events[i], orig.Events[i])
+		}
+	}
+	// The analyses must agree on the round-tripped volume.
+	if a, b := orig.WorstIntervalWrittenFraction(Hour), got.WorstIntervalWrittenFraction(Hour); a != b {
+		t.Fatalf("analysis diverged after round trip: %v vs %v", a, b)
+	}
+}
+
+func TestReadVolumeRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"empty":     "",
+		"bad magic": "NOTATRACEFILE_____________",
+	}
+	for name, data := range cases {
+		if _, err := ReadVolume(strings.NewReader(data)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestReadVolumeRejectsCorruptGeometry(t *testing.T) {
+	orig := mustGenerate(t, spec("v", 0.1, SkewZipf, 0.9, 0, 0.5), Hour, 5)
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Corrupt the size field (right after magic+version+name).
+	off := len(traceMagic) + 4 + 2 + len(orig.Spec.Name)
+	for i := 0; i < 8; i++ {
+		raw[off+i] = 0xFF
+	}
+	if _, err := ReadVolume(bytes.NewReader(raw)); err == nil {
+		t.Fatal("corrupt geometry accepted")
+	}
+}
+
+func TestReadVolumeRejectsTruncated(t *testing.T) {
+	orig := mustGenerate(t, spec("v", 0.1, SkewZipf, 0.9, 0, 0.5), Hour, 5)
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := ReadVolume(bytes.NewReader(raw[:len(raw)/2])); err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+}
+
+func TestReadVolumeRejectsOutOfRangePage(t *testing.T) {
+	v := &Volume{
+		Spec:     VolumeSpec{Name: "x", SizeBytes: 8192, PageSize: 4096},
+		Duration: Hour,
+		Events:   []Event{{At: 0, Page: 99, Bytes: 100, Write: true}},
+	}
+	var buf bytes.Buffer
+	if _, err := v.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadVolume(&buf); err == nil {
+		t.Fatal("out-of-range page accepted")
+	}
+}

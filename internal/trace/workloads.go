@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"fmt"
+
+	"viyojit/internal/sim"
+)
+
+// Application is one of the four data-center applications §3 analyses,
+// with its per-machine file-system volumes.
+type Application struct {
+	Name     string
+	Duration sim.Duration
+	Volumes  []*Volume
+}
+
+// Hour is one hour of virtual time.
+const Hour = 3600 * sim.Second
+
+// defaultVolumeSize keeps the synthetic volumes laptop-sized; every Fig
+// 2–4 metric is a fraction of volume size, so the scale cancels.
+const defaultVolumeSize = 64 << 20
+
+// spec is a terse VolumeSpec constructor for the catalogue below.
+func spec(name string, worstHour float64, skew SkewKind, theta, hotFrac, touched float64) VolumeSpec {
+	return VolumeSpec{
+		Name:                   name,
+		SizeBytes:              defaultVolumeSize,
+		WorstHourWriteFraction: worstHour,
+		Skew:                   skew,
+		Theta:                  theta,
+		HotFraction:            hotFrac,
+		TouchedFraction:        touched,
+	}
+}
+
+// applicationSpecs is the catalogue: per-volume parameters chosen to
+// reproduce the category structure of Figures 2–4 —
+//
+//   - Azure blob storage (8 volumes): written fractions mostly under
+//     15 %/hour; several volumes write mostly unique pages (Fig 3a's
+//     high bars), others moderately skewed.
+//   - Cosmos (7 volumes, 3.5 h trace): B and C have few, highly skewed
+//     writes (category 2, Viyojit's best case); E writes ~80 % of the
+//     volume to unique pages (category 4, the worst case); F writes
+//     ~70 % but 99 % of its writes hit ~10 % of pages (category 3).
+//   - Page rank (6 volumes): up to ~30 %/hour, mixed skew.
+//   - Search index serving (6 volumes): under ~16 %/hour, mixed skew.
+func applicationSpecs() []struct {
+	name     string
+	duration sim.Duration
+	specs    []VolumeSpec
+} {
+	return []struct {
+		name     string
+		duration sim.Duration
+		specs    []VolumeSpec
+	}{
+		{
+			name:     "Azure blob storage",
+			duration: 24 * Hour,
+			specs: []VolumeSpec{
+				spec("A", 0.005, SkewUnique, 0, 0, 0.40),
+				spec("B", 0.02, SkewZipf, 0.60, 0, 0.50),
+				spec("C", 0.04, SkewUnique, 0, 0, 0.45),
+				spec("D", 0.13, SkewZipf, 0.90, 0, 0.60),
+				spec("E", 0.06, SkewZipf, 0.70, 0, 0.55),
+				spec("F", 0.03, SkewUnique, 0, 0, 0.35),
+				spec("G", 0.09, SkewZipf, 0.80, 0, 0.65),
+				spec("H", 0.015, SkewUnique, 0, 0, 0.30),
+			},
+		},
+		{
+			name:     "Cosmos",
+			duration: sim.Duration(3.5 * float64(Hour)),
+			specs: []VolumeSpec{
+				spec("A", 0.05, SkewZipf, 0.80, 0, 0.50),
+				spec("B", 0.08, SkewZipf, 0.99, 0, 0.45),
+				spec("C", 0.10, SkewZipf, 0.99, 0, 0.50),
+				spec("D", 0.30, SkewZipf, 0.70, 0, 0.60),
+				spec("E", 0.80, SkewUnique, 0, 0, 0.90),
+				spec("F", 0.70, SkewHot, 0, 0.10, 0.80),
+				spec("G", 0.20, SkewZipf, 0.90, 0, 0.55),
+			},
+		},
+		{
+			name:     "Page rank",
+			duration: 24 * Hour,
+			specs: []VolumeSpec{
+				spec("A", 0.03, SkewZipf, 0.85, 0, 0.45),
+				spec("B", 0.25, SkewZipf, 0.75, 0, 0.70),
+				spec("C", 0.08, SkewUnique, 0, 0, 0.50),
+				spec("D", 0.30, SkewHot, 0, 0.15, 0.75),
+				spec("E", 0.12, SkewZipf, 0.90, 0, 0.55),
+				spec("F", 0.05, SkewUnique, 0, 0, 0.40),
+			},
+		},
+		{
+			name:     "Search index serving",
+			duration: 24 * Hour,
+			specs: []VolumeSpec{
+				spec("A", 0.02, SkewZipf, 0.80, 0, 0.40),
+				spec("B", 0.14, SkewZipf, 0.90, 0, 0.60),
+				spec("C", 0.06, SkewUnique, 0, 0, 0.45),
+				spec("D", 0.16, SkewHot, 0, 0.20, 0.65),
+				spec("E", 0.04, SkewZipf, 0.70, 0, 0.35),
+				spec("F", 0.10, SkewUnique, 0, 0, 0.55),
+			},
+		},
+	}
+}
+
+// Applications generates the full four-application trace suite
+// deterministically from seed.
+func Applications(seed uint64) ([]Application, error) {
+	catalogue := applicationSpecs()
+	out := make([]Application, 0, len(catalogue))
+	rng := sim.NewRNG(seed)
+	for _, app := range catalogue {
+		a := Application{Name: app.name, Duration: app.duration}
+		for _, vs := range app.specs {
+			v, err := Generate(vs, app.duration, rng.Uint64())
+			if err != nil {
+				return nil, fmt.Errorf("trace: generating %s volume %s: %w", app.name, vs.Name, err)
+			}
+			a.Volumes = append(a.Volumes, v)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

@@ -1,0 +1,315 @@
+// Package viyojit is the public facade of the Viyojit reproduction: a
+// battery-backed DRAM (NV-DRAM) manager that decouples battery capacity
+// from DRAM capacity by bounding the number of dirty pages to what the
+// provisioned battery can flush on power failure (Kateja et al., ISCA
+// 2017).
+//
+// A System bundles the full simulated stack — virtual clock, software
+// MMU, NV-DRAM region, SSD, battery, and the dirty-budget manager — and
+// exposes the paper's mmap-like API:
+//
+//	sys, _ := viyojit.New(viyojit.Config{
+//		NVDRAMSize: 64 << 20,
+//		Battery:    viyojit.BatteryConfig{CapacityJoules: 40},
+//	})
+//	m, _ := sys.Map("heap", 16<<20)
+//	_ = m.WriteAt([]byte("durable at DRAM speed"), 0)
+//	sys.Pump()
+//	report := sys.SimulatePowerFailure()   // flushes the dirty set
+//	recovered, _ := sys.Recover()          // reboot, warm from the SSD
+//
+// Writes to clean pages trap into the manager, which tracks and bounds
+// the dirty set; a background epoch task proactively copies the least
+// recently updated pages to the SSD so bursts don't block. Durability
+// holds for the entire NV-DRAM even though the battery only covers the
+// dirty budget.
+package viyojit
+
+import (
+	"fmt"
+
+	"viyojit/internal/battery"
+	"viyojit/internal/core"
+	"viyojit/internal/mmu"
+	"viyojit/internal/nvdram"
+	"viyojit/internal/power"
+	"viyojit/internal/recovery"
+	"viyojit/internal/sim"
+	"viyojit/internal/ssd"
+)
+
+// Re-exported types, so downstream code speaks one package.
+type (
+	// Mapping is a named NV-DRAM range returned by System.Map.
+	Mapping = core.Mapping
+	// VictimPolicy orders dirty pages for cleaning; see LRUUpdate.
+	VictimPolicy = core.VictimPolicy
+	// ManagerStats are the dirty-budget manager's counters.
+	ManagerStats = core.Stats
+	// PowerFailReport describes a simulated power-loss flush.
+	PowerFailReport = core.PowerFailReport
+	// BatteryConfig describes the provisioned battery.
+	BatteryConfig = battery.Config
+	// SSDConfig describes the backing device.
+	SSDConfig = ssd.Config
+	// PowerModel is the server's flush-time power model.
+	PowerModel = power.Model
+	// Duration is virtual time in nanoseconds.
+	Duration = sim.Duration
+)
+
+// Victim policies (the paper's choice first).
+var (
+	// LRUUpdate cleans the least recently updated page first (§5.2).
+	LRUUpdate VictimPolicy = core.LRUUpdate{}
+	// FIFO cleans pages in dirtying order.
+	FIFO VictimPolicy = core.FIFO{}
+	// LFU cleans the least frequently updated page first.
+	LFU VictimPolicy = core.LFU{}
+)
+
+// Config assembles a System. Zero values select the calibrated defaults
+// documented on each field's type.
+type Config struct {
+	// NVDRAMSize is the battery-backed region size in bytes (required,
+	// a positive multiple of the page size).
+	NVDRAMSize int64
+	// PageSize is the dirty-tracking granularity; 0 selects 4096.
+	PageSize int
+	// Battery is the provisioned battery. If CapacityJoules is 0, the
+	// battery is provisioned for ~12.5 % of the region (the paper's
+	// "11 % battery" configuration, with conservative-bandwidth margin).
+	Battery BatteryConfig
+	// Power is the server power model; the zero value selects
+	// power.Default().
+	Power PowerModel
+	// SSD is the backing device; the zero value selects ssd defaults.
+	SSD SSDConfig
+	// Epoch is the dirty-bit scan period; 0 selects 1 ms.
+	Epoch Duration
+	// Policy selects clean victims; nil selects LRUUpdate.
+	Policy VictimPolicy
+	// SampleEvery enables dirty-footprint sampling at that period (see
+	// System.Samples); 0 disables it.
+	SampleEvery Duration
+	// HardwareAssist selects the paper's §5.4 MMU-offload design: dirty
+	// pages are counted by the (modelled) hardware instead of
+	// write-protection traps, removing the first-write trap cost and
+	// most of the tail latency. See core.Config.HardwareAssist.
+	HardwareAssist bool
+	// BandwidthDerating is the conservative fraction of the SSD's write
+	// bandwidth used when converting battery joules into the dirty
+	// budget (§5.1 calls for a conservative estimate); 0 selects 0.8.
+	BandwidthDerating float64
+}
+
+// fixedFlushOverhead is the flush-time allowance reserved when deriving
+// the dirty budget from battery energy: per-IO latency, protection
+// changes, and scheduling slack that don't scale with the page count.
+const fixedFlushOverhead = Duration(500 * sim.Microsecond)
+
+// System is a fully wired Viyojit stack. It is not safe for concurrent
+// use: the simulation is single-goroutine (DESIGN.md §5).
+type System struct {
+	clock   *sim.Clock
+	events  *sim.Queue
+	region  *nvdram.Region
+	dev     *ssd.SSD
+	batt    *battery.Battery
+	pm      power.Model
+	manager *core.Manager
+	cfg     Config
+}
+
+// New builds a System: region, device, battery, and manager, with the
+// dirty budget derived from the battery and auto-retuned whenever the
+// battery's capacity changes (§8).
+func New(cfg Config) (*System, error) {
+	if cfg.NVDRAMSize <= 0 {
+		return nil, fmt.Errorf("viyojit: NVDRAMSize %d must be positive", cfg.NVDRAMSize)
+	}
+	if cfg.BandwidthDerating == 0 {
+		cfg.BandwidthDerating = 0.8
+	}
+	if cfg.BandwidthDerating <= 0 || cfg.BandwidthDerating > 1 {
+		return nil, fmt.Errorf("viyojit: bandwidth derating %v outside (0,1]", cfg.BandwidthDerating)
+	}
+	if cfg.Power == (power.Model{}) {
+		cfg.Power = power.Default()
+	}
+
+	clock := sim.NewClock()
+	events := sim.NewQueue()
+	region, err := nvdram.New(clock, nvdram.Config{Size: cfg.NVDRAMSize, PageSize: cfg.PageSize})
+	if err != nil {
+		return nil, err
+	}
+	devCfg := cfg.SSD
+	if devCfg.PageSize == 0 {
+		devCfg.PageSize = region.PageSize()
+	}
+	dev := ssd.New(clock, events, devCfg)
+
+	conservativeBW := int64(float64(dev.Config().WriteBandwidth) * cfg.BandwidthDerating)
+	battCfg := cfg.Battery
+	if battCfg.CapacityJoules == 0 {
+		// Default provisioning: an effective budget of 12.5 % of the
+		// region.
+		pages := region.NumPages() / 8
+		if pages < 1 {
+			pages = 1
+		}
+		needed := battery.JoulesForPages(cfg.Power, pages, conservativeBW, region.Size(), region.PageSize()) +
+			cfg.Power.FlushWatts(region.Size())*fixedFlushOverhead.Seconds()
+		dod := battCfg.DepthOfDischarge
+		if dod == 0 {
+			dod = 0.5
+		}
+		derate := battCfg.Derating
+		if derate == 0 {
+			derate = 1.0
+		}
+		battCfg.CapacityJoules = needed / (dod * derate)
+	}
+	batt, err := battery.New(battCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	budgetFor := func(b *battery.Battery) int {
+		// Reserve fixed flush overhead (per-IO latency, fault-window
+		// slack) before converting the remaining energy into pages, so
+		// small budgets survive their own flushes.
+		watts := cfg.Power.FlushWatts(region.Size())
+		seconds := b.EffectiveJoules()/watts - fixedFlushOverhead.Seconds()
+		if seconds <= 0 {
+			return 0
+		}
+		pages := int(seconds * float64(conservativeBW) / float64(region.PageSize()))
+		if pages > region.NumPages() {
+			pages = region.NumPages()
+		}
+		return pages
+	}
+	budget := budgetFor(batt)
+	if budget < 1 {
+		return nil, fmt.Errorf("viyojit: battery of %.1f J effective cannot back even one page", batt.EffectiveJoules())
+	}
+	mgr, err := core.NewManager(clock, events, region, dev, core.Config{
+		DirtyBudgetPages: budget,
+		Epoch:            cfg.Epoch,
+		Policy:           cfg.Policy,
+		SampleEvery:      cfg.SampleEvery,
+		HardwareAssist:   cfg.HardwareAssist,
+	})
+	if err != nil {
+		return nil, err
+	}
+	batt.OnChange(func(b *battery.Battery) {
+		pages := budgetFor(b)
+		if pages < 1 {
+			pages = 1
+		}
+		_ = mgr.SetDirtyBudget(pages)
+	})
+
+	return &System{
+		clock:   clock,
+		events:  events,
+		region:  region,
+		dev:     dev,
+		batt:    batt,
+		pm:      cfg.Power,
+		manager: mgr,
+		cfg:     cfg,
+	}, nil
+}
+
+// Map allocates a named NV-DRAM mapping (the paper's mmap-like API).
+func (s *System) Map(name string, size int64) (*Mapping, error) {
+	return s.manager.Map(name, size)
+}
+
+// Unmap persists and releases a mapping.
+func (s *System) Unmap(m *Mapping) error { return s.manager.Unmap(m) }
+
+// Pump delivers pending background events (epoch ticks, IO completions).
+// Call it between batches of work, as a real application yields the CPU.
+func (s *System) Pump() { s.manager.Pump() }
+
+// Now returns the current virtual time.
+func (s *System) Now() sim.Time { return s.clock.Now() }
+
+// AdvanceTime moves virtual time forward and pumps events — "the
+// application sleeps".
+func (s *System) AdvanceTime(d Duration) {
+	s.clock.Advance(d)
+	s.Pump()
+}
+
+// DirtyBudget returns the current budget in pages.
+func (s *System) DirtyBudget() int { return s.manager.DirtyBudget() }
+
+// DirtyCount returns the pages currently dirty (not yet durable).
+func (s *System) DirtyCount() int { return s.manager.DirtyCount() }
+
+// Stats returns the manager's counters.
+func (s *System) Stats() ManagerStats { return s.manager.Stats() }
+
+// Samples returns the dirty-footprint observability ring (empty unless
+// Config.SampleEvery was set).
+func (s *System) Samples() []core.Sample { return s.manager.Samples() }
+
+// Battery returns the battery, e.g. to simulate capacity changes; the
+// dirty budget retunes automatically on change.
+func (s *System) Battery() *battery.Battery { return s.batt }
+
+// FlushAll synchronously cleans every dirty page (clean shutdown).
+func (s *System) FlushAll() { s.manager.FlushAll() }
+
+// SimulatePowerFailure cuts power: the dirty set is flushed on battery
+// energy and the report says whether the provisioned battery covered it.
+// The system is stopped afterwards; use Recover to come back up.
+func (s *System) SimulatePowerFailure() PowerFailReport {
+	return s.manager.PowerFail(s.pm, s.batt.EffectiveJoules())
+}
+
+// VerifyDurability checks byte-for-byte that the SSD holds the latest
+// contents of every NV-DRAM page.
+func (s *System) VerifyDurability() error { return s.manager.VerifyDurability() }
+
+// Recover builds a fresh System of the same configuration whose NV-DRAM
+// is reloaded from this system's SSD — the warm reboot after a power
+// cycle. The returned report carries the restore time.
+func (s *System) Recover() (*System, recovery.RestoreReport, error) {
+	ns, err := New(s.cfg)
+	if err != nil {
+		return nil, recovery.RestoreReport{}, err
+	}
+	// The new System's device object represents the same physical SSD,
+	// whose contents survived the power cycle: seed its durable store,
+	// then reload each page into NV-DRAM, charging the reboot's clock
+	// for the reads.
+	start := ns.clock.Now()
+	restored := 0
+	for p := 0; p < ns.region.NumPages(); p++ {
+		page := mmu.PageID(p)
+		data, ok := s.dev.Durable(page)
+		if !ok {
+			continue
+		}
+		ns.dev.SeedDurable(page, data)
+		loaded := ns.dev.ReadPage(page) // charges restore read time
+		if err := ns.region.RestorePage(page, loaded); err != nil {
+			return nil, recovery.RestoreReport{}, err
+		}
+		restored++
+	}
+	return ns, recovery.RestoreReport{
+		PagesRestored: restored,
+		RestoreTime:   ns.clock.Now().Sub(start),
+	}, nil
+}
+
+// Close stops the background epoch task and drains in-flight IO.
+func (s *System) Close() { s.manager.Close() }

@@ -1,0 +1,280 @@
+package viyojit
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"viyojit/internal/sim"
+)
+
+func newTestSystem(t testing.TB, cfg Config) *System {
+	t.Helper()
+	if cfg.NVDRAMSize == 0 {
+		cfg.NVDRAMSize = 16 << 20
+	}
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("zero NVDRAMSize accepted")
+	}
+	if _, err := New(Config{NVDRAMSize: 16 << 20, BandwidthDerating: 2}); err == nil {
+		t.Fatal("derating 2 accepted")
+	}
+	if _, err := New(Config{NVDRAMSize: 16 << 20, Battery: BatteryConfig{CapacityJoules: 1e-12}}); err == nil {
+		t.Fatal("microscopic battery accepted")
+	}
+}
+
+func TestDefaultBudgetIsFractionOfRegion(t *testing.T) {
+	sys := newTestSystem(t, Config{})
+	pages := 16 << 20 / 4096
+	b := sys.DirtyBudget()
+	if b < pages/16 || b > pages/4 {
+		t.Fatalf("default budget = %d pages of %d, want ~1/8", b, pages)
+	}
+}
+
+func TestMapWritePowerFailRecover(t *testing.T) {
+	sys := newTestSystem(t, Config{})
+	m, err := sys.Map("heap", 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("must survive the power cut")
+	if err := m.WriteAt(payload, 12345); err != nil {
+		t.Fatal(err)
+	}
+	sys.Pump()
+
+	report := sys.SimulatePowerFailure()
+	if !report.Survived {
+		t.Fatalf("provisioned battery did not cover the flush: %+v", report)
+	}
+	if err := sys.VerifyDurability(); err != nil {
+		t.Fatal(err)
+	}
+
+	recovered, rr, err := sys.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.PagesRestored == 0 {
+		t.Fatal("nothing restored")
+	}
+	// The recovered system can map the same range and read the data
+	// back (same allocator, same base for the first mapping).
+	m2, err := recovered.Map("heap", 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(payload))
+	if err := m2.ReadAt(got, 12345); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("recovered %q, want %q", got, payload)
+	}
+}
+
+func TestDirtyBoundHeld(t *testing.T) {
+	sys := newTestSystem(t, Config{})
+	m, err := sys.Map("m", 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := sys.DirtyBudget()
+	for p := 0; p < 2048; p++ {
+		if err := m.WriteAt([]byte{byte(p)}, int64(p)*4096); err != nil {
+			t.Fatal(err)
+		}
+		sys.Pump()
+		if sys.DirtyCount() > budget {
+			t.Fatalf("dirty %d exceeds budget %d", sys.DirtyCount(), budget)
+		}
+	}
+	if sys.Stats().PagesDirtied == 0 {
+		t.Fatal("no pages dirtied")
+	}
+}
+
+func TestBatteryChangeRetunesBudget(t *testing.T) {
+	sys := newTestSystem(t, Config{})
+	before := sys.DirtyBudget()
+	if err := sys.Battery().SetCapacityJoules(sys.Battery().NameplateJoules() / 2); err != nil {
+		t.Fatal(err)
+	}
+	after := sys.DirtyBudget()
+	if after >= before {
+		t.Fatalf("budget did not shrink on battery loss: %d -> %d", before, after)
+	}
+	// Sub-linear in joules: the fixed flush overhead is reserved first,
+	// so the halved battery yields somewhat less than half the budget.
+	if after > before/2 || after < before/8 {
+		t.Fatalf("halved battery gave budget %d of %d, want in [%d, %d]", after, before, before/8, before/2)
+	}
+}
+
+func TestAdvanceTimeDrivesEpochs(t *testing.T) {
+	sys := newTestSystem(t, Config{})
+	sys.AdvanceTime(10 * Duration(sim.Millisecond))
+	if sys.Stats().Epochs < 9 {
+		t.Fatalf("epochs after 10 ms = %d", sys.Stats().Epochs)
+	}
+	if sys.Now() == 0 {
+		t.Fatal("clock did not advance")
+	}
+}
+
+func TestFlushAllThenVerify(t *testing.T) {
+	sys := newTestSystem(t, Config{})
+	m, _ := sys.Map("m", 1<<20)
+	for p := 0; p < 100; p++ {
+		if err := m.WriteAt([]byte{0xEE}, int64(p)*4096); err != nil {
+			t.Fatal(err)
+		}
+		sys.Pump()
+	}
+	sys.FlushAll()
+	if sys.DirtyCount() != 0 {
+		t.Fatalf("dirty after FlushAll = %d", sys.DirtyCount())
+	}
+	if err := sys.VerifyDurability(); err != nil {
+		t.Fatal(err)
+	}
+	sys.Close()
+}
+
+func TestUnmapThroughFacade(t *testing.T) {
+	sys := newTestSystem(t, Config{})
+	m, _ := sys.Map("gone", 1<<20)
+	if err := m.WriteAt([]byte{1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Unmap(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteAt([]byte{1}, 0); err == nil {
+		t.Fatal("write through unmapped handle succeeded")
+	}
+}
+
+func TestExplicitBatteryProvisioning(t *testing.T) {
+	// A battery provisioned for roughly half the region should yield a
+	// budget near half the pages.
+	const size = 16 << 20
+	sysDefault := newTestSystem(t, Config{NVDRAMSize: size})
+	sysBig := newTestSystem(t, Config{
+		NVDRAMSize: size,
+		Battery:    BatteryConfig{CapacityJoules: 1e6, DepthOfDischarge: 0.5},
+	})
+	if sysBig.DirtyBudget() <= sysDefault.DirtyBudget() {
+		t.Fatal("bigger battery did not raise the budget")
+	}
+	if sysBig.DirtyBudget() > size/4096 {
+		t.Fatalf("budget %d exceeds region pages", sysBig.DirtyBudget())
+	}
+}
+
+// Property at the facade level: arbitrary write workloads against a
+// default-provisioned System never exceed the budget, never lose data
+// across a power failure, and always recover byte-for-byte.
+func TestFacadeDurabilityProperty(t *testing.T) {
+	f := func(seed uint64, nOps uint8) bool {
+		sys, err := New(Config{NVDRAMSize: 8 << 20})
+		if err != nil {
+			return false
+		}
+		m, err := sys.Map("prop", 4<<20)
+		if err != nil {
+			return false
+		}
+		rng := sim.NewRNG(seed)
+		shadow := make(map[int64]byte)
+		for i := 0; i < int(nOps)%200+1; i++ {
+			page := rng.Int63n(4 << 20 / 4096)
+			b := byte(rng.Uint64()) | 1
+			if err := m.WriteAt([]byte{b}, page*4096); err != nil {
+				return false
+			}
+			shadow[page] = b
+			sys.Pump()
+			if sys.DirtyCount() > sys.DirtyBudget() {
+				return false
+			}
+			if rng.Intn(5) == 0 {
+				sys.AdvanceTime(Duration(sim.Millisecond))
+			}
+		}
+		report := sys.SimulatePowerFailure()
+		if !report.Survived || sys.VerifyDurability() != nil {
+			return false
+		}
+		recovered, _, err := sys.Recover()
+		if err != nil {
+			return false
+		}
+		m2, err := recovered.Map("prop", 4<<20)
+		if err != nil {
+			return false
+		}
+		buf := make([]byte, 1)
+		for page, want := range shadow {
+			if err := m2.ReadAt(buf, page*4096); err != nil || buf[0] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeSampling(t *testing.T) {
+	sys := newTestSystem(t, Config{SampleEvery: Duration(sim.Millisecond)})
+	m, _ := sys.Map("s", 1<<20)
+	for p := 0; p < 50; p++ {
+		if err := m.WriteAt([]byte{1}, int64(p)*4096); err != nil {
+			t.Fatal(err)
+		}
+		sys.AdvanceTime(Duration(sim.Millisecond))
+	}
+	samples := sys.Samples()
+	if len(samples) < 40 {
+		t.Fatalf("got %d samples", len(samples))
+	}
+	peak := 0
+	for _, s := range samples {
+		if s.Dirty > peak {
+			peak = s.Dirty
+		}
+	}
+	if peak == 0 {
+		t.Fatal("sampling saw no dirty pages")
+	}
+}
+
+func TestFacadeHardwareAssist(t *testing.T) {
+	sys := newTestSystem(t, Config{HardwareAssist: true})
+	m, _ := sys.Map("hw", 2<<20)
+	for p := 0; p < 200; p++ {
+		if err := m.WriteAt([]byte{byte(p + 1)}, int64(p)*4096); err != nil {
+			t.Fatal(err)
+		}
+		sys.Pump()
+	}
+	if sys.DirtyCount() > sys.DirtyBudget() {
+		t.Fatal("budget violated in hardware mode")
+	}
+	report := sys.SimulatePowerFailure()
+	if !report.Survived || sys.VerifyDurability() != nil {
+		t.Fatal("hardware mode lost data across power failure")
+	}
+}
