@@ -3,9 +3,16 @@
 // far more data than the battery could flush naively, pulls the plug,
 // verifies byte-for-byte durability, and reboots warm.
 //
+// The fault flags turn the demo adversarial: SSD write faults (transient
+// errors, torn page programs, latency spikes) during the workload,
+// battery capacity sag mid-run, and a power failure injected at an exact
+// event-queue step instead of at the end.
+//
 // Usage:
 //
 //	powerfail [-size BYTES] [-seed S]
+//	          [-write-error-prob P] [-torn-prob P] [-spike-prob P] [-max-faults N]
+//	          [-sag FRACTION] [-crash-step N]
 package main
 
 import (
@@ -14,12 +21,19 @@ import (
 	"os"
 
 	"viyojit"
+	"viyojit/internal/faultinject"
 	"viyojit/internal/sim"
 )
 
 func main() {
 	size := flag.Int64("size", 64<<20, "NV-DRAM size in bytes")
 	seed := flag.Uint64("seed", 1, "workload seed")
+	writeErrProb := flag.Float64("write-error-prob", 0, "probability an SSD page write fails transiently")
+	tornProb := flag.Float64("torn-prob", 0, "probability an SSD page write tears (half the page lands)")
+	spikeProb := flag.Float64("spike-prob", 0, "probability an SSD write completion is delayed ~1 ms")
+	maxFaults := flag.Uint64("max-faults", 0, "bound on injected transient+torn faults (0 = unbounded)")
+	sag := flag.Float64("sag", 0, "battery derating applied mid-run, e.g. 0.7 (0 = no sag)")
+	crashStep := flag.Uint64("crash-step", 0, "pull the plug at this event-queue step (0 = after the workload)")
 	flag.Parse()
 
 	sys, err := viyojit.New(viyojit.Config{NVDRAMSize: *size})
@@ -29,44 +43,108 @@ func main() {
 	fmt.Printf("NV-DRAM: %d MiB, dirty budget: %d pages (%.1f%% of the region)\n",
 		*size>>20, sys.DirtyBudget(), float64(sys.DirtyBudget())*4096*100/float64(*size))
 
+	var inj *faultinject.Injector
+	if *writeErrProb > 0 || *tornProb > 0 || *spikeProb > 0 {
+		inj = faultinject.New(faultinject.Config{
+			Seed:          *seed ^ 0xFA17,
+			TransientProb: *writeErrProb,
+			TornProb:      *tornProb,
+			SpikeProb:     *spikeProb,
+			MaxFaults:     *maxFaults,
+		})
+		sys.SSD().SetFaultInjector(inj)
+		fmt.Printf("SSD fault injection armed: transient %.2f, torn %.2f, spike %.2f\n",
+			*writeErrProb, *tornProb, *spikeProb)
+	}
+	if *sag < 0 || *sag > 1 {
+		fatal(fmt.Errorf("-sag %v outside (0,1]; it is a derating fraction", *sag))
+	}
+	if *sag > 0 {
+		// Sag a third of the way into the expected run: the budget
+		// retunes automatically through the battery observer.
+		faultinject.ScheduleBatterySag(sys.Events(), sys.Battery(), []faultinject.SagStep{
+			{At: sim.Time(300 * sim.Microsecond), Derating: *sag},
+		})
+		fmt.Printf("battery sag to %.0f%% scheduled at t=300µs\n", *sag*100)
+	}
+	var crasher *faultinject.Crasher
+	if *crashStep > 0 {
+		crasher = faultinject.NewCrasher(sys.Events())
+		crasher.ArmAt(*crashStep)
+		fmt.Printf("power failure armed at event step %d\n", *crashStep)
+	}
+
 	heapSize := *size / 2
 	m, err := sys.Map("demo-heap", heapSize)
 	if err != nil {
 		fatal(err)
 	}
 
-	// Dirty every page of the heap — 4x the battery's budget — with a
-	// skewed rewrite pattern on top.
-	rng := sim.NewRNG(*seed)
-	pages := int(heapSize / 4096)
-	fmt.Printf("writing to all %d heap pages (%.0fx the dirty budget)...\n",
-		pages, float64(pages)/float64(sys.DirtyBudget()))
-	buf := make([]byte, 128)
-	for p := 0; p < pages; p++ {
-		for i := range buf {
-			buf[i] = byte(rng.Uint64())
+	workload := func() {
+		// Dirty every page of the heap — 4x the battery's budget — with
+		// a skewed rewrite pattern on top.
+		rng := sim.NewRNG(*seed)
+		pages := int(heapSize / 4096)
+		fmt.Printf("writing to all %d heap pages (%.0fx the dirty budget)...\n",
+			pages, float64(pages)/float64(sys.DirtyBudget()))
+		buf := make([]byte, 128)
+		for p := 0; p < pages; p++ {
+			for i := range buf {
+				buf[i] = byte(rng.Uint64())
+			}
+			if err := m.WriteAt(buf, int64(p)*4096); err != nil {
+				fatal(err)
+			}
+			sys.Pump()
 		}
-		if err := m.WriteAt(buf, int64(p)*4096); err != nil {
-			fatal(err)
+		for i := 0; i < 4*pages; i++ {
+			p := rng.Intn(pages / 8) // hot eighth
+			if err := m.WriteAt([]byte{byte(i)}, int64(p)*4096); err != nil {
+				fatal(err)
+			}
+			sys.Pump()
 		}
-		sys.Pump()
 	}
-	for i := 0; i < 4*pages; i++ {
-		p := rng.Intn(pages / 8) // hot eighth
-		if err := m.WriteAt([]byte{byte(i)}, int64(p)*4096); err != nil {
-			fatal(err)
+	var crashed bool
+	if crasher != nil {
+		var cp faultinject.CrashPoint
+		cp, crashed = crasher.Run(workload)
+		if crashed {
+			fmt.Printf("\n*** power failed at event step %d (t=%v) ***\n", cp.Step, sim.Duration(cp.At))
+		} else {
+			fmt.Printf("workload finished before step %d; pulling the plug at the end instead\n", *crashStep)
 		}
-		sys.Pump()
+		crasher.Disarm()
+	} else {
+		workload()
 	}
+
 	s := sys.Stats()
 	fmt.Printf("dirty now: %d pages (budget %d); faults %d, proactive cleans %d, forced cleans %d\n",
 		sys.DirtyCount(), sys.DirtyBudget(), s.Faults, s.ProactiveCleans, s.ForcedCleans)
+	if inj != nil {
+		ist := inj.Stats()
+		fmt.Printf("injected faults: %d transient, %d torn, %d latency spikes over %d writes\n",
+			ist.Transients, ist.Torn, ist.LatencySpikes, ist.WritesSeen)
+		fmt.Printf("manager under fire: %d clean errors, %d backoff retries, degraded mode %v (entered %dx)\n",
+			s.CleanErrors, s.CleanRetries, sys.Degraded(), s.DegradedEnters)
+		// The battery backup path is engineered to complete: faults stop
+		// at the wall.
+		inj.Disable()
+	}
 
-	fmt.Println("\n*** pulling the plug ***")
+	if !crashed {
+		fmt.Println("\n*** pulling the plug ***")
+	}
 	report := sys.SimulatePowerFailure()
 	fmt.Printf("flushed %d dirty pages in %v using %.2f J of %.2f J available — survived: %v\n",
 		report.PagesFlushed, report.FlushTime, report.EnergyUsedJoules,
 		report.EnergyAvailableJoules, report.Survived)
+	if !report.Survived && inj != nil {
+		fmt.Println("note: the default battery is provisioned for a healthy SSD; injected latency" +
+			" spikes on in-flight IOs ate the fixed flush margin. Provision spike headroom" +
+			" (see EXPERIMENTS.md, fault-injection model) to survive this schedule.")
+	}
 	if err := sys.VerifyDurability(); err != nil {
 		fatal(fmt.Errorf("durability check failed: %w", err))
 	}

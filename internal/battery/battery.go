@@ -110,6 +110,23 @@ func (b *Battery) SetCapacityJoules(j float64) error {
 	return nil
 }
 
+// SetDerating replaces the runtime derating factor — modelling ambient
+// temperature excursions or measured voltage sag that reduce (or, back
+// in range, restore) the usable fraction of the pack — and notifies
+// observers. Unlike Age this is reversible: raising the derating back
+// restores the effective capacity. Values outside (0,1] are rejected.
+func (b *Battery) SetDerating(d float64) error {
+	if d <= 0 || d > 1 {
+		return fmt.Errorf("battery: derating %v outside (0,1]", d)
+	}
+	b.cfg.Derating = d
+	b.notify()
+	return nil
+}
+
+// Derating returns the current runtime derating factor.
+func (b *Battery) Derating() float64 { return b.cfg.Derating }
+
 // Age reduces the nameplate capacity by the given fraction (0 ≤ f < 1)
 // and notifies observers.
 func (b *Battery) Age(fraction float64) error {

@@ -59,6 +59,21 @@ type Config struct {
 	// proposes this to eradicate the software implementation's tail
 	// latency; the ablation benchmarks compare both modes.
 	HardwareAssist bool
+	// CleanRetryBackoff is the delay before resubmitting a clean whose
+	// SSD write failed; it doubles per consecutive failure of the same
+	// page, capped at CleanRetryMax. 0 selects 100 µs.
+	CleanRetryBackoff sim.Duration
+	// CleanRetryMax caps the per-page backoff. 0 selects 10 ms.
+	CleanRetryMax sim.Duration
+	// DegradeAfterErrors is the number of consecutive failed cleans
+	// after which the manager enters degraded mode: the epoch task's
+	// effective cleaning threshold is halved (extra dirty-set headroom
+	// while the SSD is unreliable) until HealAfterCleans consecutive
+	// cleans succeed. 0 selects 3.
+	DegradeAfterErrors int
+	// HealAfterCleans is the number of consecutive successful cleans
+	// that exits degraded mode. 0 selects 8.
+	HealAfterCleans int
 }
 
 func (c Config) withDefaults() Config {
@@ -70,6 +85,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Policy == nil {
 		c.Policy = LRUUpdate{}
+	}
+	if c.CleanRetryBackoff == 0 {
+		c.CleanRetryBackoff = 100 * sim.Microsecond
+	}
+	if c.CleanRetryMax == 0 {
+		c.CleanRetryMax = 10 * sim.Millisecond
+	}
+	if c.DegradeAfterErrors == 0 {
+		c.DegradeAfterErrors = 3
+	}
+	if c.HealAfterCleans == 0 {
+		c.HealAfterCleans = 8
 	}
 	return c
 }
@@ -83,6 +110,10 @@ type Stats struct {
 	UnmapCleans      uint64 // cleans forced by Unmap
 	RetuneCleans     uint64 // cleans forced by a budget decrease
 	CleansCompleted  uint64 // SSD write-backs that finished
+	CleanErrors      uint64 // SSD write-backs that failed (transient or torn)
+	CleanRetries     uint64 // failed cleans resubmitted after backoff
+	DegradedEnters   uint64 // transitions into SSD-degraded mode
+	DegradedEpochs   uint64 // epoch ticks run while degraded
 	Epochs           uint64
 	SkippedEpochs    uint64 // reentrant ticks skipped under overload
 	MaxDirtyObserved int
@@ -126,6 +157,12 @@ type Manager struct {
 	pressure          float64
 	inEpoch           bool
 	closed            bool
+
+	// SSD health tracking (graceful degradation on clean failures).
+	errorStreak   int  // consecutive failed cleans
+	healthyStreak int  // consecutive successful cleans since last error
+	degraded      bool // epoch task keeps extra headroom while true
+
 	epochEvent        *sim.Event
 	scanBuf           []mmu.PageID
 	dirtyPagesBuf     []mmu.PageID
@@ -159,6 +196,9 @@ type dirtyPage struct {
 	// clean's snapshot was taken: the completing IO must not mark it
 	// clean.
 	rewritten bool
+	// attempts counts consecutive failed cleans of this page; it drives
+	// the exponential retry backoff and resets on success.
+	attempts int
 }
 
 // NewManager wires a manager onto a region and backing device sharing one
@@ -297,8 +337,17 @@ func (m *Manager) handleFault(page mmu.PageID) {
 			panic(fmt.Sprintf("core: fault on dirty, unprotected page %d", page))
 		}
 		for {
-			if cur, still := m.dirty[page]; !still || cur != dp {
+			cur, still := m.dirty[page]
+			if !still || cur != dp {
 				break
+			}
+			if !cur.cleaning {
+				// The in-flight clean failed: the completion handler
+				// un-protected the page and left it in the dirty set, so
+				// the blocked write proceeds on the existing entry at no
+				// further cost (the retry will re-snapshot it later).
+				m.stats.FaultWaitTotal += m.clock.Now().Sub(waitStart)
+				return
 			}
 			if !m.events.Step(m.clock) {
 				panic("core: waiting for in-flight clean with no pending events")
@@ -444,14 +493,39 @@ func (m *Manager) startClean(page mmu.PageID) {
 		pt.Protect(page)
 	}
 	data := m.region.PageData(page)
-	m.dev.WritePageAsync(page, data, func(sim.Time) {
-		m.stats.CleansCompleted++
+	m.dev.WritePageAsync(page, data, func(at sim.Time, err error) {
 		// If the entry was replaced (page re-dirtied after a waiter saw
 		// this clean complete), leave the new entry alone.
 		cur, ok := m.dirty[page]
+		if err != nil {
+			// The write failed (transient error or torn program): the
+			// page's latest contents are NOT durable, so it must stay in
+			// the dirty set. Return it to the plain dirty state — in
+			// software mode that means unprotecting again, restoring the
+			// "dirty ∧ ¬cleaning ⇒ unprotected" invariant — and resubmit
+			// after an exponential backoff.
+			m.stats.CleanErrors++
+			m.noteCleanError()
+			if !ok || cur != dp {
+				return
+			}
+			dp.cleaning = false
+			dp.rewritten = false
+			dp.attempts++
+			if !m.cfg.HardwareAssist {
+				pt.Unprotect(page)
+			}
+			if !m.closed {
+				m.scheduleCleanRetry(page, dp, at.Add(m.retryBackoff(dp.attempts)))
+			}
+			return
+		}
+		m.stats.CleansCompleted++
+		m.noteCleanSuccess()
 		if !ok || cur != dp {
 			return
 		}
+		dp.attempts = 0
 		if dp.rewritten {
 			// Hardware assist: the page was written after the snapshot;
 			// the durable copy is stale, so the page stays dirty and
@@ -465,6 +539,68 @@ func (m *Manager) startClean(page mmu.PageID) {
 		pt.ClearDirty(page)
 	})
 }
+
+// retryBackoff returns the delay before the attempts-th resubmission of
+// a failed clean: exponential from CleanRetryBackoff, capped at
+// CleanRetryMax.
+func (m *Manager) retryBackoff(attempts int) sim.Duration {
+	d := m.cfg.CleanRetryBackoff
+	for i := 1; i < attempts && d < m.cfg.CleanRetryMax; i++ {
+		d *= 2
+	}
+	if d > m.cfg.CleanRetryMax {
+		d = m.cfg.CleanRetryMax
+	}
+	return d
+}
+
+// scheduleCleanRetry arms a resubmission of page's clean at the given
+// time. The retry is skipped if by then the manager closed, the page
+// left the dirty set, its entry was replaced, or another path (forced
+// clean, Unmap, epoch task) already restarted the clean.
+func (m *Manager) scheduleCleanRetry(page mmu.PageID, dp *dirtyPage, at sim.Time) {
+	m.events.Schedule(at, func(sim.Time) {
+		if m.closed {
+			return
+		}
+		cur, ok := m.dirty[page]
+		if !ok || cur != dp || cur.cleaning {
+			return
+		}
+		m.stats.CleanRetries++
+		m.startClean(page)
+	})
+}
+
+// noteCleanError advances the SSD health tracker after a failed clean,
+// entering degraded mode once the consecutive-error threshold is hit.
+func (m *Manager) noteCleanError() {
+	m.healthyStreak = 0
+	m.errorStreak++
+	if !m.degraded && m.errorStreak >= m.cfg.DegradeAfterErrors {
+		m.degraded = true
+		m.stats.DegradedEnters++
+	}
+}
+
+// noteCleanSuccess advances the health tracker after a successful clean,
+// leaving degraded mode after a long enough healthy streak.
+func (m *Manager) noteCleanSuccess() {
+	m.errorStreak = 0
+	if !m.degraded {
+		return
+	}
+	m.healthyStreak++
+	if m.healthyStreak >= m.cfg.HealAfterCleans {
+		m.degraded = false
+		m.healthyStreak = 0
+	}
+}
+
+// Degraded reports whether the manager is in SSD-degraded mode: recent
+// cleans failed, so the epoch task keeps extra dirty-set headroom until
+// the device proves healthy again.
+func (m *Manager) Degraded() bool { return m.degraded }
 
 // cleanOneSync cleans one victim synchronously: it virtually blocks until
 // the dirty set shrinks, (re)starting cleans as needed. Re-selection
@@ -551,6 +687,15 @@ func (m *Manager) epochTick(at sim.Time) {
 	threshold := m.budget - int(m.pressure+0.5)
 	if threshold < 0 {
 		threshold = 0
+	}
+	if m.degraded {
+		// Graceful degradation: while the SSD is erroring, halve the
+		// effective cleaning threshold (clean down further) so the dirty
+		// set keeps extra headroom for retries before the budget blocks
+		// writers. Restored automatically once cleans succeed again
+		// (noteCleanSuccess).
+		m.stats.DegradedEpochs++
+		threshold /= 2
 	}
 	m.rebuildVictimQueue()
 	// Count in-flight cleans as already-on-their-way reductions.

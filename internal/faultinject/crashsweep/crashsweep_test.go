@@ -1,0 +1,129 @@
+package crashsweep
+
+import (
+	"testing"
+
+	"viyojit/internal/faultinject"
+	"viyojit/internal/sim"
+)
+
+// TestSweepYCSBA is the acceptance sweep: ≥200 seeded crash points
+// across a YCSB-A-style workload (zipf θ=0.99, 50/50 read/update), every
+// durability invariant holding at every one.
+func TestSweepYCSBA(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full crash-point sweep in -short mode")
+	}
+	cfg := Config{Seed: 0x5EED_A, MaxCrashPoints: 200}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	t.Logf("baseline events %d, stride %d, crash points %d (+%d ran past end), max dirty at crash %d, torn tails %d, rollbacks %d",
+		res.BaselineEvents, res.Stride, res.CrashPoints, res.Completed,
+		res.MaxDirtyAtCrash, res.TornTails, res.Rollbacks)
+	if res.CrashPoints+res.Completed < 200 {
+		t.Fatalf("swept %d points, want ≥ 200 (baseline only fired %d events)",
+			res.CrashPoints+res.Completed, res.BaselineEvents)
+	}
+	if res.CrashPoints < 150 {
+		t.Fatalf("only %d of %d points actually crashed mid-run", res.CrashPoints, cfg.MaxCrashPoints)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	budget := cfg.withDefaults().BudgetPages
+	if res.MaxDirtyAtCrash > budget {
+		t.Errorf("max dirty at crash %d exceeds budget %d", res.MaxDirtyAtCrash, budget)
+	}
+	if res.MaxDirtyAtCrash == 0 {
+		t.Error("no crash point ever caught a dirty page; sweep is not exercising the flush path")
+	}
+}
+
+// TestSweepWithSSDFaults re-runs a (smaller) sweep with transient,
+// torn-write and latency-spike SSD faults injected during the workload:
+// the degraded cleaning path, retries, and torn-tail recovery all run
+// under crash fire.
+func TestSweepWithSSDFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("faulted crash-point sweep in -short mode")
+	}
+	cfg := Config{
+		Seed:           0xFA17_5EED,
+		MaxCrashPoints: 60,
+		InjectFaults:   true,
+		Faults: faultinject.Config{
+			TransientProb: 0.05,
+			TornProb:      0.02,
+			SpikeProb:     0.05,
+			MaxFaults:     64,
+		},
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("faulted sweep: %v", err)
+	}
+	t.Logf("baseline events %d, crash points %d (+%d ran past end), max dirty %d, torn tails %d, rollbacks %d",
+		res.BaselineEvents, res.CrashPoints, res.Completed,
+		res.MaxDirtyAtCrash, res.TornTails, res.Rollbacks)
+	if res.CrashPoints == 0 {
+		t.Fatal("faulted sweep produced no crash points")
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+}
+
+// TestSweepDeterministic: the same seed must produce the identical sweep
+// — crash points, torn-tail count, rollbacks, and max dirty all equal.
+func TestSweepDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, Ops: 200, MaxCrashPoints: 12}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if a.BaselineEvents != b.BaselineEvents || a.CrashPoints != b.CrashPoints ||
+		a.TornTails != b.TornTails || a.Rollbacks != b.Rollbacks ||
+		a.MaxDirtyAtCrash != b.MaxDirtyAtCrash || len(a.Violations) != len(b.Violations) {
+		t.Fatalf("sweep not deterministic:\n  first  %+v\n  second %+v", a, b)
+	}
+}
+
+// TestSweepHardwareAssist sweeps the §5.4 MMU-offload manager too: the
+// durability invariant is mode-independent.
+func TestSweepHardwareAssist(t *testing.T) {
+	cfg := Config{Seed: 7, Ops: 250, MaxCrashPoints: 25, HardwareAssist: true}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if res.CrashPoints == 0 {
+		t.Fatal("no crash points")
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+}
+
+// TestSweepExplicitStride pins the stride instead of deriving it.
+func TestSweepExplicitStride(t *testing.T) {
+	cfg := Config{Seed: 3, Ops: 150, Stride: 11, MaxCrashPoints: 10, Epoch: 500 * sim.Microsecond}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if res.Stride != 11 {
+		t.Fatalf("stride %d, want 11", res.Stride)
+	}
+	if res.CrashPoints == 0 {
+		t.Fatal("no crash points")
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+}

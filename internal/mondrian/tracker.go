@@ -61,6 +61,7 @@ type Stats struct {
 	ForcedCleans     uint64
 	ProactiveCleans  uint64
 	CleansCompleted  uint64
+	CleanErrors      uint64
 	Epochs           uint64
 	MaxDirtyObserved int
 }
@@ -309,7 +310,16 @@ func (t *Tracker) startClean(s SectorID) {
 	start := int64(s) * int64(t.sectorSize)
 	buf := make([]byte, t.sectorSize)
 	copy(buf, t.data[start:])
-	t.dev.WritePageAsync(s, buf, func(sim.Time) {
+	t.dev.WritePageAsync(s, buf, func(_ sim.Time, err error) {
+		if err != nil {
+			// The sector's latest contents are not durable: keep it dirty
+			// and cleanable so the forced/epoch paths re-pick it.
+			t.stats.CleanErrors++
+			if cur, ok := t.dirty[s]; ok && cur == ds {
+				ds.cleaning = false
+			}
+			return
+		}
 		t.stats.CleansCompleted++
 		if cur, ok := t.dirty[s]; ok && cur == ds {
 			delete(t.dirty, s)

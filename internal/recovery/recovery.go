@@ -5,12 +5,14 @@
 package recovery
 
 import (
+	"bytes"
 	"fmt"
 
 	"viyojit/internal/mmu"
 	"viyojit/internal/nvdram"
 	"viyojit/internal/sim"
 	"viyojit/internal/ssd"
+	"viyojit/internal/wal"
 )
 
 // RestoreReport describes a region restore.
@@ -45,6 +47,68 @@ func RestoreRegion(clock *sim.Clock, dev *ssd.SSD, cfg nvdram.Config) (*nvdram.R
 		restored++
 	}
 	return region, RestoreReport{PagesRestored: restored, RestoreTime: clock.Now().Sub(start)}, nil
+}
+
+// VerifyRestored checks, byte for byte, that region matches the durable
+// store it was restored from: every durable page must equal the region's
+// copy, and every page without a durable copy must still be all zero.
+// It is the post-restore half of the durability invariant (the pre-flush
+// half is core.Manager.VerifyDurability) and is what the crash-point
+// sweep asserts after every injected power failure.
+func VerifyRestored(region *nvdram.Region, dev *ssd.SSD) error {
+	for p := 0; p < region.NumPages(); p++ {
+		page := mmu.PageID(p)
+		live := region.RawPage(page)
+		durable, ok := dev.Durable(page)
+		if ok {
+			if !bytes.Equal(live, durable) {
+				return fmt.Errorf("recovery: restored page %d diverges from durable copy", page)
+			}
+			continue
+		}
+		for _, b := range live {
+			if b != 0 {
+				return fmt.Errorf("recovery: restored page %d has data but no durable copy", page)
+			}
+		}
+	}
+	return nil
+}
+
+// regionWindow adapts a byte range of a restored region to the wal.Store
+// surface, so a log that lived in a mapping can be re-opened after a
+// power cycle without reconstructing the manager's allocator state.
+type regionWindow struct {
+	region *nvdram.Region
+	base   int64
+	size   int64
+}
+
+func (w regionWindow) ReadAt(p []byte, off int64) error  { return w.region.ReadAt(p, w.base+off) }
+func (w regionWindow) WriteAt(p []byte, off int64) error { return w.region.WriteAt(p, w.base+off) }
+func (w regionWindow) Size() int64                       { return w.size }
+
+// RestoredWAL opens and replays a write-ahead log that lived at [base,
+// base+size) of a restored region: the application-level half of crash
+// recovery. It returns the committed payloads in order and whether the
+// replay stopped at a torn record (a write in flight when power failed)
+// rather than cleanly at the committed head. Torn tails are detected and
+// rejected, never mis-replayed (wal package checksums).
+func RestoredWAL(region *nvdram.Region, base, size int64) (payloads [][]byte, torn bool, err error) {
+	l, err := wal.Open(regionWindow{region: region, base: base, size: size})
+	if err != nil {
+		return nil, false, err
+	}
+	err = l.Replay(func(_ uint64, payload []byte) error {
+		cp := make([]byte, len(payload))
+		copy(cp, payload)
+		payloads = append(payloads, cp)
+		return nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return payloads, l.LastStop() == wal.StopTorn, nil
 }
 
 // AvailabilityReport compares reboot downtime with and without dirty

@@ -18,9 +18,25 @@ func (e *Event) Cancelled() bool { return e.index == -1 && e.Fn == nil }
 // scheduled for the same instant fire in the order they were scheduled.
 // The zero value is an empty queue ready to use.
 type Queue struct {
-	events eventHeap
-	seq    uint64
+	events   eventHeap
+	seq      uint64
+	fired    uint64
+	fireHook func(step uint64, at Time)
 }
+
+// Fired returns the number of events that have fired so far — the
+// queue's step counter. Together with SetFireHook it gives external
+// tooling (fault injection, crash-point sweeps) a deterministic notion
+// of "where" in an execution something happened.
+func (q *Queue) Fired() uint64 { return q.fired }
+
+// SetFireHook installs fn to run immediately before each event fires,
+// with the 1-based index the event will have and its virtual time. The
+// hook runs before the event is removed from the queue, so a hook that
+// panics (the crash-point mechanism in internal/faultinject) leaves the
+// queue consistent: the event is still pending. Passing nil uninstalls
+// the hook.
+func (q *Queue) SetFireHook(fn func(step uint64, at Time)) { q.fireHook = fn }
 
 // NewQueue returns an empty event queue.
 func NewQueue() *Queue { return &Queue{} }
@@ -63,8 +79,12 @@ func (q *Queue) NextAt() (Time, bool) {
 // RunUntil returns, the clock is at max(t, clock time on entry).
 func (q *Queue) RunUntil(c *Clock, t Time) {
 	for len(q.events) > 0 && q.events[0].At <= t {
+		if q.fireHook != nil {
+			q.fireHook(q.fired+1, q.events[0].At)
+		}
 		e := heap.Pop(&q.events).(*Event)
 		e.index = -1
+		q.fired++
 		fn := e.Fn
 		e.Fn = nil
 		c.AdvanceTo(e.At)
@@ -82,8 +102,12 @@ func (q *Queue) Step(c *Clock) bool {
 		return false
 	}
 	at := q.events[0].At
+	if q.fireHook != nil {
+		q.fireHook(q.fired+1, at)
+	}
 	e := heap.Pop(&q.events).(*Event)
 	e.index = -1
+	q.fired++
 	fn := e.Fn
 	e.Fn = nil
 	c.AdvanceTo(at)

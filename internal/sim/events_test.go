@@ -113,6 +113,86 @@ func TestQueueDrain(t *testing.T) {
 	}
 }
 
+func TestQueueFiredCounter(t *testing.T) {
+	q := NewQueue()
+	c := NewClock()
+	if q.Fired() != 0 {
+		t.Fatalf("fresh queue Fired() = %d", q.Fired())
+	}
+	for i := Time(1); i <= 4; i++ {
+		q.Schedule(i*10, func(Time) {})
+	}
+	e := q.Schedule(45, func(Time) {})
+	q.Cancel(e)
+	q.Drain(c)
+	if q.Fired() != 4 {
+		t.Fatalf("Fired() = %d after draining 4 live + 1 cancelled, want 4", q.Fired())
+	}
+}
+
+func TestQueueFireHookSeesStepAndTime(t *testing.T) {
+	q := NewQueue()
+	c := NewClock()
+	type fire struct {
+		step uint64
+		at   Time
+	}
+	var hooks []fire
+	q.SetFireHook(func(step uint64, at Time) { hooks = append(hooks, fire{step, at}) })
+	q.Schedule(10, func(Time) {})
+	q.Schedule(20, func(Time) {})
+	q.RunUntil(c, 100)
+	want := []fire{{1, 10}, {2, 20}}
+	if len(hooks) != len(want) {
+		t.Fatalf("hook fired %d times, want %d", len(hooks), len(want))
+	}
+	for i := range want {
+		if hooks[i] != want[i] {
+			t.Fatalf("hook call %d = %+v, want %+v", i, hooks[i], want[i])
+		}
+	}
+	q.SetFireHook(nil) // detachable
+	q.Schedule(30, func(Time) {})
+	q.RunUntil(c, 100)
+	if len(hooks) != 2 {
+		t.Fatal("detached hook still firing")
+	}
+}
+
+// A hook that panics must leave the queue consistent: the event it
+// interrupted was not popped and fires on the next run — the property
+// the crash-point sweep depends on.
+func TestQueueFireHookPanicLeavesEventQueued(t *testing.T) {
+	q := NewQueue()
+	c := NewClock()
+	fired := 0
+	q.Schedule(10, func(Time) { fired++ })
+	boom := true
+	q.SetFireHook(func(uint64, Time) {
+		if boom {
+			boom = false
+			panic("power failure")
+		}
+	})
+	func() {
+		defer func() { recover() }()
+		q.RunUntil(c, 100)
+	}()
+	if fired != 0 {
+		t.Fatal("event fired despite the hook panicking before it")
+	}
+	if q.Len() != 1 {
+		t.Fatalf("queue len = %d after hook panic, want 1 (event stays queued)", q.Len())
+	}
+	if q.Fired() != 0 {
+		t.Fatalf("Fired() = %d after hook panic, want 0", q.Fired())
+	}
+	q.RunUntil(c, 100)
+	if fired != 1 || q.Fired() != 1 {
+		t.Fatalf("re-run fired %d events (counter %d), want 1", fired, q.Fired())
+	}
+}
+
 // Property: for any set of scheduled times, events fire in sorted order and
 // the count matches.
 func TestQueueOrderingProperty(t *testing.T) {

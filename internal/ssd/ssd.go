@@ -68,6 +68,9 @@ type Stats struct {
 	BytesWritten    uint64
 	BytesRead       uint64
 	SubmitStalls    uint64 // submissions that had to wait for a queue slot
+	WriteErrors     uint64 // completions that reported a transient fault
+	TornWrites      uint64 // completions that reported a torn write
+	LatencySpikes   uint64 // IOs delayed by injected extra latency
 	MaxQueueDepth   int
 	BusyUntil       sim.Time // device busy horizon (for utilisation)
 	TotalWriteLag   sim.Duration
@@ -92,6 +95,7 @@ type SSD struct {
 
 	store     map[mmu.PageID][]byte // durable page contents
 	dedup     map[uint64]struct{}   // content fingerprints (Dedup)
+	faults    FaultInjector         // nil = never errors (fault.go)
 	inflight  int
 	bandwidth sim.Time // next time the write channel is free
 	stats     Stats
@@ -129,9 +133,11 @@ func transferTime(n int, bw int64) sim.Duration {
 // WritePageAsync submits a durable write of data to page. If the device
 // queue is full the submission virtually blocks — events (including other
 // completions) fire — until a slot frees. onComplete, if non-nil, runs at
-// the IO's completion time. The data slice is retained until completion;
-// callers must pass an unshared copy (nvdram.Region.PageData does).
-func (d *SSD) WritePageAsync(page mmu.PageID, data []byte, onComplete func(sim.Time)) {
+// the IO's completion time; a non-nil error (ErrWriteFault, ErrTornWrite)
+// means the page's latest contents are NOT durable and the caller must
+// resubmit. The data slice is retained until completion; callers must
+// pass an unshared copy (nvdram.Region.PageData does).
+func (d *SSD) WritePageAsync(page mmu.PageID, data []byte, onComplete func(sim.Time, error)) {
 	if len(data) != d.cfg.PageSize {
 		panic(fmt.Sprintf("ssd: write of %d bytes, want page size %d", len(data), d.cfg.PageSize))
 	}
@@ -147,6 +153,11 @@ func (d *SSD) WritePageAsync(page mmu.PageID, data []byte, onComplete func(sim.T
 	}
 	d.stats.WritesSubmitted++
 
+	var fault FaultDecision
+	if d.faults != nil {
+		fault = d.faults.WriteFault(page, data)
+	}
+
 	submitted := d.clock.Now()
 	start := submitted
 	if d.bandwidth > start {
@@ -155,30 +166,49 @@ func (d *SSD) WritePageAsync(page mmu.PageID, data []byte, onComplete func(sim.T
 	xfer := transferTime(d.transferBytes(data), d.cfg.WriteBandwidth)
 	d.bandwidth = start.Add(xfer)
 	done := d.bandwidth.Add(d.cfg.PerIOLatency)
+	if fault.ExtraLatency > 0 {
+		d.stats.LatencySpikes++
+		done = done.Add(fault.ExtraLatency)
+	}
 	if done > d.stats.BusyUntil {
 		d.stats.BusyUntil = done
 	}
 
 	d.events.Schedule(done, func(at sim.Time) {
-		d.store[page] = data
+		var err error
+		switch fault.Fault {
+		case FaultTransient:
+			// The attempt consumed bus time but nothing landed.
+			d.stats.WriteErrors++
+			err = ErrWriteFault
+		case FaultTorn:
+			d.stats.TornWrites++
+			d.applyTorn(page, data)
+			err = ErrTornWrite
+		default:
+			d.store[page] = data
+			d.stats.BytesWritten += uint64(len(data))
+		}
 		d.inflight--
 		d.stats.WritesCompleted++
-		d.stats.BytesWritten += uint64(len(data))
 		d.stats.TotalWriteLag += at.Sub(submitted)
 		d.stats.completedForAvg++
 		if onComplete != nil {
-			onComplete(at)
+			onComplete(at, err)
 		}
 	})
 }
 
 // WritePageSync submits a write and virtually blocks until it completes.
-// It returns the completion time.
-func (d *SSD) WritePageSync(page mmu.PageID, data []byte) sim.Time {
+// It returns the completion time and the IO's error (nil unless a fault
+// injector failed it).
+func (d *SSD) WritePageSync(page mmu.PageID, data []byte) (sim.Time, error) {
 	var doneAt sim.Time
+	var doneErr error
 	finished := false
-	d.WritePageAsync(page, data, func(at sim.Time) {
+	d.WritePageAsync(page, data, func(at sim.Time, err error) {
 		doneAt = at
+		doneErr = err
 		finished = true
 	})
 	for !finished {
@@ -186,7 +216,7 @@ func (d *SSD) WritePageSync(page mmu.PageID, data []byte) sim.Time {
 			panic("ssd: sync write never completed; completion event lost")
 		}
 	}
-	return doneAt
+	return doneAt, doneErr
 }
 
 // WaitIdle virtually blocks until every in-flight IO has completed.

@@ -30,7 +30,10 @@ func TestSyncWriteDurable(t *testing.T) {
 	d, c, _ := newTestSSD(Config{})
 	data := page(0x5A, 4096)
 	t0 := c.Now()
-	done := d.WritePageSync(7, data)
+	done, err := d.WritePageSync(7, data)
+	if err != nil {
+		t.Fatalf("sync write error: %v", err)
+	}
 	if done <= t0 {
 		t.Fatal("sync write completed instantaneously")
 	}
@@ -57,7 +60,7 @@ func TestAsyncCompletionOrderAndBandwidth(t *testing.T) {
 	d, c, q := newTestSSD(Config{WriteBandwidth: 1 << 20, PerIOLatency: sim.Microsecond}) // 1 MiB/s: 4 KiB takes ~3.9 ms
 	var completions []sim.Time
 	for i := 0; i < 3; i++ {
-		d.WritePageAsync(mmu.PageID(i), page(byte(i), 4096), func(at sim.Time) {
+		d.WritePageAsync(mmu.PageID(i), page(byte(i), 4096), func(at sim.Time, _ error) {
 			completions = append(completions, at)
 		})
 	}

@@ -53,11 +53,42 @@ const (
 // ErrFull is returned by Append when the log has no room for the record.
 var ErrFull = errors.New("wal: log full")
 
+// StopReason says why the most recent Replay stopped.
+type StopReason int
+
+const (
+	// StopHead: the replay reached the committed head cleanly — every
+	// record the header promised was present and valid.
+	StopHead StopReason = iota
+	// StopTorn: a record failed validation (zero length, out-of-order
+	// sequence, bad checksum, or a length running past the store) — the
+	// signature of a write torn by power failure. The valid prefix was
+	// replayed; the torn tail was rejected, never mis-replayed.
+	StopTorn
+	// StopEnd: the scan ran out of store space without hitting the head
+	// or an invalid record.
+	StopEnd
+)
+
+func (r StopReason) String() string {
+	switch r {
+	case StopHead:
+		return "head"
+	case StopTorn:
+		return "torn"
+	case StopEnd:
+		return "end"
+	}
+	return "unknown"
+}
+
 // Log is the append-only record log. It is not safe for concurrent use.
 type Log struct {
 	store Store
 	head  int64  // next append offset
 	seq   uint64 // next sequence number
+
+	lastStop StopReason // why the most recent Replay stopped
 }
 
 // checksum is FNV-1a over seq and the payload.
@@ -174,8 +205,10 @@ func (l *Log) Append(payload []byte) (seq uint64, err error) {
 func (l *Log) Replay(fn func(seq uint64, payload []byte) error) error {
 	off := int64(recordBase)
 	expect := uint64(1)
+	l.lastStop = StopEnd
 	for off+recordHeaderSize <= l.store.Size() {
 		if l.head >= recordBase && off >= l.head {
+			l.lastStop = StopHead
 			break // reached the committed head
 		}
 		var hdr [recordHeaderSize]byte
@@ -186,6 +219,7 @@ func (l *Log) Replay(fn func(seq uint64, payload []byte) error) error {
 		seq := binary.LittleEndian.Uint64(hdr[4:])
 		sum := binary.LittleEndian.Uint64(hdr[12:])
 		if length == 0 || seq != expect || off+recordHeaderSize+int64(length) > l.store.Size() {
+			l.lastStop = StopTorn
 			break // torn or never written
 		}
 		payload := make([]byte, length)
@@ -193,6 +227,7 @@ func (l *Log) Replay(fn func(seq uint64, payload []byte) error) error {
 			return err
 		}
 		if checksum(seq, payload) != sum {
+			l.lastStop = StopTorn
 			break // torn record
 		}
 		if err := fn(seq, payload); err != nil {
@@ -207,6 +242,12 @@ func (l *Log) Replay(fn func(seq uint64, payload []byte) error) error {
 	l.seq = expect
 	return nil
 }
+
+// LastStop reports why the most recent Replay stopped: cleanly at the
+// committed head, or at a torn/corrupt record (the crash-recovery
+// signal). Meaningful only after a Replay (directly or via Open's
+// rebuild or Records).
+func (l *Log) LastStop() StopReason { return l.lastStop }
 
 // Records returns the number of committed records (by replaying the
 // metadata only; O(records)).

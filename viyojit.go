@@ -264,6 +264,18 @@ func (s *System) Samples() []core.Sample { return s.manager.Samples() }
 // dirty budget retunes automatically on change.
 func (s *System) Battery() *battery.Battery { return s.batt }
 
+// SSD returns the backing device, e.g. to attach a fault injector
+// (ssd.SetFaultInjector) or read device stats.
+func (s *System) SSD() *ssd.SSD { return s.dev }
+
+// Events returns the simulation's event queue, e.g. to schedule battery
+// sag or install a crash-point hook (faultinject package).
+func (s *System) Events() *sim.Queue { return s.events }
+
+// Degraded reports whether the manager is in SSD-degraded mode (cleaning
+// more aggressively because recent cleans failed).
+func (s *System) Degraded() bool { return s.manager.Degraded() }
+
 // FlushAll synchronously cleans every dirty page (clean shutdown).
 func (s *System) FlushAll() { s.manager.FlushAll() }
 
