@@ -1,0 +1,175 @@
+// Command health-sim demonstrates online budget re-provisioning: the
+// health monitor re-deriving the dirty budget while the battery ages and
+// the SSD wears, entirely on the deterministic virtual clock.
+//
+// Two modes back the EXPERIMENTS.md "Online re-provisioning" section:
+//
+//	-mode trajectory (default): run a write workload under a scheduled
+//	  battery-aging curve and print the monitor's snapshot table — the
+//	  budget following the battery down, with the staged drain visible
+//	  in the dirty/draining columns.
+//
+//	-mode drain: from a full dirty set, shrink the budget by several
+//	  sizes and report the virtual time until each staged drain
+//	  completes (dirty ≤ new budget) — the re-provisioning latency.
+//
+// Usage:
+//
+//	health-sim [-size BYTES] [-seed S] [-mode trajectory|drain]
+//	           [-age-frac F] [-age-steps N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"viyojit"
+	"viyojit/internal/battery"
+	"viyojit/internal/sim"
+)
+
+func main() {
+	size := flag.Int64("size", 8<<20, "NV-DRAM size in bytes")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	mode := flag.String("mode", "trajectory", "trajectory | drain")
+	ageFrac := flag.Float64("age-frac", 0.08, "battery capacity fraction lost per aging step")
+	ageSteps := flag.Int("age-steps", 8, "number of scheduled aging steps")
+	flag.Parse()
+
+	switch *mode {
+	case "trajectory":
+		trajectory(*size, *seed, *ageFrac, *ageSteps)
+	case "drain":
+		drainLatency(*size, *seed)
+	default:
+		fatal(fmt.Errorf("unknown -mode %q", *mode))
+	}
+}
+
+// trajectory runs a steady write workload for 100 ms of virtual time
+// while the battery loses ageFrac of its capacity every 10 ms, and
+// prints the monitor's view: effective joules, bandwidth estimate, and
+// the budget the monitor pushed.
+func trajectory(size int64, seed uint64, ageFrac float64, ageSteps int) {
+	sys, err := viyojit.New(viyojit.Config{
+		NVDRAMSize: size,
+		// Wear modelling on: the workload's clean traffic accrues
+		// full-capacity write passes against 4× the region.
+		SSD: viyojit.SSDConfig{WearCapacityBytes: 4 * size},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	m, err := sys.Map("heap", size/2)
+	if err != nil {
+		fatal(err)
+	}
+	if err := battery.ScheduleAging(sys.Events(), sys.Battery(), battery.AgingSchedule{
+		Start:           sim.Time(10 * sim.Millisecond),
+		Interval:        10 * sim.Millisecond,
+		FractionPerStep: ageFrac,
+		Steps:           ageSteps,
+	}); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("NV-DRAM %d MiB, initial budget %d pages, battery %.2f J effective\n",
+		size>>20, sys.DirtyBudget(), sys.Battery().EffectiveJoules())
+	fmt.Printf("aging schedule: -%.0f%% capacity every 10 ms, %d steps\n\n",
+		ageFrac*100, ageSteps)
+
+	rng := sim.NewRNG(seed)
+	pages := size / 2 / 4096
+	for sys.Now() < sim.Time(100*sim.Millisecond) {
+		p := rng.Int63n(pages)
+		if err := m.WriteAt([]byte{byte(p)}, p*4096); err != nil {
+			fatal(err)
+		}
+		sys.AdvanceTime(20 * sim.Microsecond)
+	}
+
+	fmt.Printf("%10s %10s %10s %12s %8s %8s %9s %6s\n",
+		"t", "state", "joules", "bw-est MB/s", "budget", "dirty", "draining", "wear")
+	for i, s := range sys.Health().Snapshots() {
+		if i%5 != 0 { // one row per 10 ms of the 2 ms sampling
+			continue
+		}
+		fmt.Printf("%10v %10v %10.3f %12.1f %8d %8d %9v %6.2f\n",
+			sim.Duration(s.At), s.State, s.EffectiveJoules,
+			float64(s.BandwidthEstimate)/(1<<20), s.Budget, s.Dirty, s.Draining, s.WearCycles)
+	}
+	st := sys.Stats()
+	hs := sys.Health().Stats()
+	fmt.Printf("\nmonitor: %d ticks, %d retunes; manager: %d budget shrinks, %d drains completed, state %v\n",
+		hs.Ticks, hs.Retunes, st.BudgetShrinks, st.DrainsCompleted, sys.HealthState())
+	fmt.Printf("final budget %d pages from %.2f J effective (%.0f%% of nameplate at install)\n",
+		sys.DirtyBudget(), sys.Battery().EffectiveJoules(),
+		100*sys.Battery().EffectiveJoules()/(sys.Battery().EffectiveJoules()/pow(1-ageFrac, ageSteps)))
+}
+
+func pow(x float64, n int) float64 {
+	out := 1.0
+	for i := 0; i < n; i++ {
+		out *= x
+	}
+	return out
+}
+
+// drainLatency measures the staged-shrink re-provisioning latency: with
+// the dirty set at the full budget, shrink to a fraction of it and time
+// the drain (no concurrent writes — the floor of the latency; bursts
+// only extend it via forced-clean backpressure).
+func drainLatency(size int64, seed uint64) {
+	// Monitor off: this experiment drives SetDirtyBudget by hand to
+	// isolate the staged drain's latency; a live monitor would retune
+	// the budget out from under the measurement.
+	sys, err := viyojit.New(viyojit.Config{NVDRAMSize: size, DisableHealthMonitor: true})
+	if err != nil {
+		fatal(err)
+	}
+	m, err := sys.Map("heap", size/2)
+	if err != nil {
+		fatal(err)
+	}
+	mgr := sys.Manager()
+	budget0 := sys.DirtyBudget()
+	fmt.Printf("NV-DRAM %d MiB, budget %d pages\n\n", size>>20, budget0)
+	fmt.Printf("%10s %12s %14s %16s\n", "new budget", "pages cut", "drain time", "µs per page")
+
+	_ = seed
+	for _, frac := range []float64{0.75, 0.5, 0.25, 0.125} {
+		// Refill the dirty set to the full budget.
+		if err := mgr.SetDirtyBudget(budget0); err != nil {
+			fatal(err)
+		}
+		for p := int64(0); sys.DirtyCount() < budget0; p++ {
+			if err := m.WriteAt([]byte{byte(p)}, (p%(size/2/4096))*4096); err != nil {
+				fatal(err)
+			}
+			sys.Pump()
+		}
+		target := int(float64(budget0) * frac)
+		if target < 1 {
+			target = 1
+		}
+		cut := sys.DirtyCount() - target
+		start := sys.Now()
+		if err := mgr.SetDirtyBudget(target); err != nil {
+			fatal(err)
+		}
+		for mgr.Draining() {
+			sys.AdvanceTime(20 * sim.Microsecond)
+		}
+		dt := sys.Now().Sub(start)
+		fmt.Printf("%10d %12d %14v %16.2f\n",
+			target, cut, dt, float64(dt)/1000/float64(cut))
+	}
+	st := sys.Stats()
+	fmt.Printf("\n%d staged shrinks, %d drains completed, %d retune cleans\n",
+		st.BudgetShrinks, st.DrainsCompleted, st.RetuneCleans)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "health-sim:", err)
+	os.Exit(1)
+}

@@ -122,12 +122,17 @@ func main() {
 	s := sys.Stats()
 	fmt.Printf("dirty now: %d pages (budget %d); faults %d, proactive cleans %d, forced cleans %d\n",
 		sys.DirtyCount(), sys.DirtyBudget(), s.Faults, s.ProactiveCleans, s.ForcedCleans)
+	if h := sys.Health(); h != nil {
+		hs := h.Stats()
+		fmt.Printf("health monitor: %d ticks, %d retunes; %d budget shrinks, %d drains completed\n",
+			hs.Ticks, hs.Retunes, s.BudgetShrinks, s.DrainsCompleted)
+	}
 	if inj != nil {
 		ist := inj.Stats()
 		fmt.Printf("injected faults: %d transient, %d torn, %d latency spikes over %d writes\n",
 			ist.Transients, ist.Torn, ist.LatencySpikes, ist.WritesSeen)
-		fmt.Printf("manager under fire: %d clean errors, %d backoff retries, degraded mode %v (entered %dx)\n",
-			s.CleanErrors, s.CleanRetries, sys.Degraded(), s.DegradedEnters)
+		fmt.Printf("manager under fire: %d clean errors, %d backoff retries, ladder state %v (degraded %dx)\n",
+			s.CleanErrors, s.CleanRetries, sys.HealthState(), s.DegradedEnters)
 		// The battery backup path is engineered to complete: faults stop
 		// at the wall.
 		inj.Disable()
@@ -140,6 +145,10 @@ func main() {
 	fmt.Printf("flushed %d dirty pages in %v using %.2f J of %.2f J available — survived: %v\n",
 		report.PagesFlushed, report.FlushTime, report.EnergyUsedJoules,
 		report.EnergyAvailableJoules, report.Survived)
+	if report.EnergyAtCompletionJoules != report.EnergyAvailableJoules {
+		fmt.Printf("battery capacity changed during the flush: %.2f J effective at completion; the verdict charges the smaller figure\n",
+			report.EnergyAtCompletionJoules)
+	}
 	if !report.Survived && inj != nil {
 		fmt.Println("note: the default battery is provisioned for a healthy SSD; injected latency" +
 			" spikes on in-flight IOs ate the fixed flush margin. Provision spike headroom" +

@@ -56,6 +56,7 @@ type Battery struct {
 	cfg       Config
 	nameplate float64 // current nameplate capacity (declines with ageing)
 	onChange  []func(*Battery)
+	onShrink  []func(*Battery, float64)
 }
 
 // New creates a battery from cfg.
@@ -92,19 +93,43 @@ func (b *Battery) OnChange(fn func(*Battery)) {
 	b.onChange = append(b.onChange, fn)
 }
 
+// OnShrink registers a callback invoked immediately BEFORE a capacity
+// change that would reduce the effective joules, with the projected new
+// effective capacity. It is the safe-shrink hook: the Viyojit manager
+// drains the dirty set down to what the projected capacity covers while
+// the battery still holds its current charge, so "dirty ≤ pages the
+// battery can flush" is never violated, even transiently, by a capacity
+// step-down. Growth-only changes skip these observers.
+func (b *Battery) OnShrink(fn func(b *Battery, projectedEffectiveJoules float64)) {
+	b.onShrink = append(b.onShrink, fn)
+}
+
 func (b *Battery) notify() {
 	for _, fn := range b.onChange {
 		fn(b)
 	}
 }
 
+// prepare runs the shrink observers if the pending change reduces the
+// effective capacity.
+func (b *Battery) prepare(projected float64) {
+	if projected >= b.EffectiveJoules() {
+		return
+	}
+	for _, fn := range b.onShrink {
+		fn(b, projected)
+	}
+}
+
 // SetCapacityJoules replaces the nameplate capacity — modelling cell
 // failures, replacement, or capacity reallocation between co-located
-// tenants — and notifies observers. Non-positive capacities are rejected.
+// tenants — and notifies observers. Shrink observers run before the
+// change applies (see OnShrink). Non-positive capacities are rejected.
 func (b *Battery) SetCapacityJoules(j float64) error {
 	if j <= 0 {
 		return fmt.Errorf("battery: capacity %v J must be positive", j)
 	}
+	b.prepare(j * b.cfg.DepthOfDischarge * b.cfg.Derating)
 	b.nameplate = j
 	b.notify()
 	return nil
@@ -113,12 +138,14 @@ func (b *Battery) SetCapacityJoules(j float64) error {
 // SetDerating replaces the runtime derating factor — modelling ambient
 // temperature excursions or measured voltage sag that reduce (or, back
 // in range, restore) the usable fraction of the pack — and notifies
-// observers. Unlike Age this is reversible: raising the derating back
-// restores the effective capacity. Values outside (0,1] are rejected.
+// observers. Shrink observers run before a reducing change applies.
+// Unlike Age this is reversible: raising the derating back restores the
+// effective capacity. Values outside (0,1] are rejected.
 func (b *Battery) SetDerating(d float64) error {
 	if d <= 0 || d > 1 {
 		return fmt.Errorf("battery: derating %v outside (0,1]", d)
 	}
+	b.prepare(b.nameplate * b.cfg.DepthOfDischarge * d)
 	b.cfg.Derating = d
 	b.notify()
 	return nil
@@ -128,11 +155,12 @@ func (b *Battery) SetDerating(d float64) error {
 func (b *Battery) Derating() float64 { return b.cfg.Derating }
 
 // Age reduces the nameplate capacity by the given fraction (0 ≤ f < 1)
-// and notifies observers.
+// and notifies observers. Shrink observers run before the change applies.
 func (b *Battery) Age(fraction float64) error {
 	if fraction < 0 || fraction >= 1 {
 		return fmt.Errorf("battery: ageing fraction %v outside [0,1)", fraction)
 	}
+	b.prepare(b.nameplate * (1 - fraction) * b.cfg.DepthOfDischarge * b.cfg.Derating)
 	b.nameplate *= 1 - fraction
 	b.notify()
 	return nil

@@ -66,14 +66,27 @@ type Config struct {
 	// CleanRetryMax caps the per-page backoff. 0 selects 10 ms.
 	CleanRetryMax sim.Duration
 	// DegradeAfterErrors is the number of consecutive failed cleans
-	// after which the manager enters degraded mode: the epoch task's
-	// effective cleaning threshold is halved (extra dirty-set headroom
-	// while the SSD is unreliable) until HealAfterCleans consecutive
-	// cleans succeed. 0 selects 3.
+	// after which the manager enters the Degraded rung of the health
+	// ladder: the epoch task's effective cleaning threshold is halved
+	// (extra dirty-set headroom while the SSD is unreliable). 0
+	// selects 3.
 	DegradeAfterErrors int
 	// HealAfterCleans is the number of consecutive successful cleans
-	// that exits degraded mode. 0 selects 8.
+	// that exits degraded mode — the fast heal path for a busy system.
+	// 0 selects 8.
 	HealAfterCleans int
+	// HealAfterQuiet is the hysteresis window for the time-based heal
+	// path: a degraded manager returns to Healthy once this much
+	// virtual time has passed since the last clean error, checked on
+	// epoch ticks. It exists so a mostly-idle system — too few cleans
+	// to ever accumulate HealAfterCleans successes — still heals. 0
+	// selects 20 ms.
+	HealAfterQuiet sim.Duration
+	// EmergencyMaxAttempts is the number of write attempts each dirty
+	// page gets per emergency-flush drain round before the drain gives
+	// up on it (the health monitor escalates to ReadOnly when drains
+	// keep failing). 0 selects 3.
+	EmergencyMaxAttempts int
 }
 
 func (c Config) withDefaults() Config {
@@ -98,6 +111,12 @@ func (c Config) withDefaults() Config {
 	if c.HealAfterCleans == 0 {
 		c.HealAfterCleans = 8
 	}
+	if c.HealAfterQuiet == 0 {
+		c.HealAfterQuiet = 20 * sim.Millisecond
+	}
+	if c.EmergencyMaxAttempts == 0 {
+		c.EmergencyMaxAttempts = 3
+	}
 	return c
 }
 
@@ -114,6 +133,14 @@ type Stats struct {
 	CleanRetries     uint64 // failed cleans resubmitted after backoff
 	DegradedEnters   uint64 // transitions into SSD-degraded mode
 	DegradedEpochs   uint64 // epoch ticks run while degraded
+	EmergencyEnters  uint64 // transitions into EmergencyFlush
+	EmergencyCleans  uint64 // cleans submitted by emergency drains
+	ReadOnlyEnters   uint64 // transitions into ReadOnly
+	Resumes          uint64 // de-escalations back down the ladder
+	WritesBlocked    uint64 // faults rejected while writes were blocked
+	BudgetGrows      uint64 // retunes that raised (or kept) the budget
+	BudgetShrinks    uint64 // retunes that started a staged drain
+	DrainsCompleted  uint64 // staged drains that reached their target
 	Epochs           uint64
 	SkippedEpochs    uint64 // reentrant ticks skipped under overload
 	MaxDirtyObserved int
@@ -129,11 +156,18 @@ type Manager struct {
 	dev    *ssd.SSD
 	cfg    Config
 
-	budget int
+	// budget is the target dirty-page bound. During a staged shrink
+	// (draining true) the operative bound is drainBound, a monotone
+	// ratchet that starts at the dirty level the previous budget
+	// covered and follows the set down to budget; see SetDirtyBudget.
+	budget     int
+	draining   bool
+	drainBound int
 
 	// dirty holds every page whose latest contents are not yet durable,
 	// including pages re-protected and in flight to the SSD. Its size is
-	// the quantity the battery must cover and never exceeds budget.
+	// the quantity the battery must cover and never exceeds the
+	// effective budget.
 	dirty    map[mmu.PageID]*dirtyPage
 	dirtySeq uint64
 
@@ -158,14 +192,16 @@ type Manager struct {
 	inEpoch           bool
 	closed            bool
 
-	// SSD health tracking (graceful degradation on clean failures).
-	errorStreak   int  // consecutive failed cleans
-	healthyStreak int  // consecutive successful cleans since last error
-	degraded      bool // epoch task keeps extra headroom while true
+	// SSD health tracking: the degradation ladder (ladder.go) plus the
+	// streak counters that drive its bottom two rungs.
+	state         HealthState
+	errorStreak   int      // consecutive failed cleans
+	healthyStreak int      // consecutive successful cleans since last error
+	lastErrorAt   sim.Time // when the last clean error completed (time-based heal)
 
-	epochEvent        *sim.Event
-	scanBuf           []mmu.PageID
-	dirtyPagesBuf     []mmu.PageID
+	epochEvent    *sim.Event
+	scanBuf       []mmu.PageID
+	dirtyPagesBuf []mmu.PageID
 
 	// mmap-like allocator state (mapping.go).
 	mappings  []*Mapping
@@ -323,6 +359,12 @@ func (m *Manager) scheduleEpochAt(at sim.Time) {
 // handleFault is the write-protection fault handler (flowchart steps 3–8).
 func (m *Manager) handleFault(page mmu.PageID) {
 	m.stats.Faults++
+	if m.writesBlocked() {
+		// EmergencyFlush/ReadOnly: leave the page protected so the MMU
+		// reports the write as failed to the caller (mmu.ErrProtected).
+		m.stats.WritesBlocked++
+		return
+	}
 	waitStart := m.clock.Now()
 
 	// A fault on a page that is mid-clean means the application wrote to
@@ -355,11 +397,15 @@ func (m *Manager) handleFault(page mmu.PageID) {
 		}
 	}
 
-	// Enforce the budget: admitting this page must not exceed it.
-	for len(m.dirty) >= m.budget {
+	// Enforce the budget: admitting this page must not exceed the
+	// effective bound. During a staged shrink every clean also lowers
+	// the drain ratchet, so a fault taken mid-drain pays for the whole
+	// remaining drain — the backpressure that lets the transition make
+	// progress against a sustained write burst.
+	for len(m.dirty) >= m.effectiveBudget() {
 		m.stats.ForcedCleans++
 		if !m.cleanOneSync() {
-			panic(fmt.Sprintf("core: dirty set %d at budget %d with no cleanable victim", len(m.dirty), m.budget))
+			panic(fmt.Sprintf("core: dirty set %d at budget %d with no cleanable victim", len(m.dirty), m.effectiveBudget()))
 		}
 	}
 	m.stats.FaultWaitTotal += m.clock.Now().Sub(waitStart)
@@ -410,13 +456,13 @@ func (m *Manager) handleDirtyNotify(page mmu.PageID) {
 		return
 	}
 	waitStart := m.clock.Now()
-	for len(m.dirty) >= m.budget {
+	for len(m.dirty) >= m.effectiveBudget() {
 		// The at-budget case pays the interrupt the §5.4 MMU raises.
 		m.stats.Faults++
 		m.clock.Advance(hwInterruptCost)
 		m.stats.ForcedCleans++
 		if !m.cleanOneSync() {
-			panic(fmt.Sprintf("core: dirty set %d at budget %d with no cleanable victim", len(m.dirty), m.budget))
+			panic(fmt.Sprintf("core: dirty set %d at budget %d with no cleanable victim", len(m.dirty), m.effectiveBudget()))
 		}
 	}
 	m.stats.FaultWaitTotal += m.clock.Now().Sub(waitStart)
@@ -505,13 +551,19 @@ func (m *Manager) startClean(page mmu.PageID) {
 			// "dirty ∧ ¬cleaning ⇒ unprotected" invariant — and resubmit
 			// after an exponential backoff.
 			m.stats.CleanErrors++
-			m.noteCleanError()
+			m.noteCleanError(at)
 			if !ok || cur != dp {
 				return
 			}
 			dp.cleaning = false
 			dp.rewritten = false
 			dp.attempts++
+			if m.writesBlocked() {
+				// Emergency drain: keep the page protected (writes stay
+				// blocked) and let the drain loop manage attempts; the
+				// auto-retry would defeat its attempt bound.
+				return
+			}
 			if !m.cfg.HardwareAssist {
 				pt.Unprotect(page)
 			}
@@ -537,6 +589,7 @@ func (m *Manager) startClean(page mmu.PageID) {
 		// The snapshot's contents are now durable.
 		delete(m.dirty, page)
 		pt.ClearDirty(page)
+		m.noteDrainProgress()
 	})
 }
 
@@ -573,34 +626,42 @@ func (m *Manager) scheduleCleanRetry(page mmu.PageID, dp *dirtyPage, at sim.Time
 }
 
 // noteCleanError advances the SSD health tracker after a failed clean,
-// entering degraded mode once the consecutive-error threshold is hit.
-func (m *Manager) noteCleanError() {
+// entering the Degraded rung once the consecutive-error threshold is hit.
+// Escalation beyond Degraded is the health monitor's decision, never
+// automatic.
+func (m *Manager) noteCleanError(at sim.Time) {
 	m.healthyStreak = 0
 	m.errorStreak++
-	if !m.degraded && m.errorStreak >= m.cfg.DegradeAfterErrors {
-		m.degraded = true
+	m.lastErrorAt = at
+	if m.state == StateHealthy && m.errorStreak >= m.cfg.DegradeAfterErrors {
+		m.state = StateDegraded
 		m.stats.DegradedEnters++
 	}
 }
 
 // noteCleanSuccess advances the health tracker after a successful clean,
-// leaving degraded mode after a long enough healthy streak.
+// leaving degraded mode after a long enough healthy streak (the
+// time-based heal path runs on epoch ticks; see epochTick).
 func (m *Manager) noteCleanSuccess() {
 	m.errorStreak = 0
-	if !m.degraded {
+	if m.state != StateDegraded {
 		return
 	}
 	m.healthyStreak++
 	if m.healthyStreak >= m.cfg.HealAfterCleans {
-		m.degraded = false
+		m.state = StateHealthy
 		m.healthyStreak = 0
 	}
 }
 
-// Degraded reports whether the manager is in SSD-degraded mode: recent
-// cleans failed, so the epoch task keeps extra dirty-set headroom until
-// the device proves healthy again.
-func (m *Manager) Degraded() bool { return m.degraded }
+// Degraded reports whether the manager is at or above the Degraded rung:
+// recent cleans failed, so the epoch task keeps extra dirty-set headroom
+// until the device proves healthy again.
+func (m *Manager) Degraded() bool { return m.state >= StateDegraded }
+
+// ErrorStreak returns the current run of consecutive failed cleans — the
+// signal the health monitor escalates on.
+func (m *Manager) ErrorStreak() int { return m.errorStreak }
 
 // cleanOneSync cleans one victim synchronously: it virtually blocks until
 // the dirty set shrinks, (re)starting cleans as needed. Re-selection
@@ -657,6 +718,19 @@ func (m *Manager) epochTick(at sim.Time) {
 	m.stats.Epochs++
 	m.epochIndex++
 
+	// Time-based heal (hysteresis): a degraded manager on a mostly-idle
+	// system may never see HealAfterCleans consecutive successes simply
+	// because nothing needs cleaning. If no clean has *failed* for
+	// HealAfterQuiet of virtual time, return to Healthy here instead —
+	// and reset the error streak, which on an idle system has no
+	// success to reset it, so a single later error doesn't instantly
+	// re-enter Degraded off the stale count.
+	if m.state == StateDegraded && at.Sub(m.lastErrorAt) >= m.cfg.HealAfterQuiet {
+		m.state = StateHealthy
+		m.errorStreak = 0
+		m.healthyStreak = 0
+	}
+
 	// Read and clear hardware dirty bits for the known-to-be-dirty pages
 	// only — clean pages are write-protected and cannot have been updated
 	// without a fault — flushing the TLB first so the bits are fresh
@@ -684,11 +758,11 @@ func (m *Manager) epochTick(at sim.Time) {
 
 	// Proactive copying: clean least-recently-updated pages until the
 	// dirty set can absorb the predicted burst without blocking.
-	threshold := m.budget - int(m.pressure+0.5)
+	threshold := m.effectiveBudget() - int(m.pressure+0.5)
 	if threshold < 0 {
 		threshold = 0
 	}
-	if m.degraded {
+	if m.state == StateDegraded {
 		// Graceful degradation: while the SSD is erroring, halve the
 		// effective cleaning threshold (clean down further) so the dirty
 		// set keeps extra headroom for retries before the budget blocks
@@ -734,33 +808,133 @@ func (m *Manager) FlushAll() {
 }
 
 // SetDirtyBudget retunes the budget at runtime (paper §8: battery cell
-// failures or capacity reallocation between tenants). A decrease below
-// the current dirty count synchronously cleans pages down to the new
-// bound before returning, so the durability guarantee is re-established
-// immediately.
+// failures, ageing, or capacity reallocation between tenants). Growth —
+// and any target the dirty set already fits under — applies immediately.
+// A shrink below the current dirty count starts a *staged drain*: the
+// operative bound becomes drainBound, a ratchet initialised to the
+// current dirty count (which the old budget covered) that only moves
+// down, one notch per page cleaned, until it reaches the target. New
+// admissions are throttled against the ratchet, so writers arriving
+// mid-drain pay forced cleans (backpressure) instead of violating the
+// bound, and "dirty ≤ effective budget" holds at every instant of the
+// transition. The call returns without waiting for the drain; use
+// SetDirtyBudgetSync or CompleteDrain when the caller needs the old
+// semantics.
 func (m *Manager) SetDirtyBudget(pages int) error {
 	if pages < 1 {
 		return fmt.Errorf("core: dirty budget %d pages; need at least 1", pages)
 	}
-	// Clean down BEFORE committing the new budget: the invariant
-	// "dirty ≤ budget" must hold at every instant, including while epoch
-	// ticks fire during the synchronous cleans below.
-	for len(m.dirty) > pages {
-		m.stats.RetuneCleans++
-		if !m.cleanOneSync() {
-			return fmt.Errorf("core: cannot reduce dirty set %d to budget %d", len(m.dirty), pages)
+	if pages >= len(m.dirty) {
+		// The dirty set already fits: no transition needed. This also
+		// ends any in-progress drain whose target just rose above the
+		// current level.
+		m.budget = pages
+		if m.draining {
+			m.draining = false
+			m.stats.DrainsCompleted++
 		}
+		m.stats.BudgetGrows++
+		m.checkInvariant()
+		return nil
+	}
+	if m.draining && pages >= m.budget {
+		// Already draining to a tighter target; keep the ratchet.
+		m.budget = pages
+		m.checkInvariant()
+		return nil
+	}
+	if !m.draining {
+		m.draining = true
+		m.drainBound = len(m.dirty)
 	}
 	m.budget = pages
+	m.stats.BudgetShrinks++
+	m.kickDrain()
 	m.checkInvariant()
 	return nil
 }
+
+// SetDirtyBudgetSync is SetDirtyBudget followed by CompleteDrain: it
+// returns only once the dirty set fits the new budget, restoring the
+// synchronous retune semantics the tenancy reallocator and the
+// power-fail path rely on.
+func (m *Manager) SetDirtyBudgetSync(pages int) error {
+	if err := m.SetDirtyBudget(pages); err != nil {
+		return err
+	}
+	return m.CompleteDrain()
+}
+
+// CompleteDrain synchronously runs an in-progress staged drain to its
+// target. It is a no-op when no drain is in progress. The safe-shrink
+// battery hook calls it so the dirty set is covered by the *projected*
+// capacity before the battery actually loses the energy.
+func (m *Manager) CompleteDrain() error {
+	for m.draining {
+		m.stats.RetuneCleans++
+		if !m.cleanOneSync() {
+			return fmt.Errorf("core: cannot drain dirty set %d to budget %d", len(m.dirty), m.budget)
+		}
+	}
+	return nil
+}
+
+// kickDrain starts proactive cleans toward the drain target so a staged
+// shrink makes progress even on an idle system (no faults to piggyback
+// forced cleans on, and the next epoch tick may be most of a
+// millisecond away).
+func (m *Manager) kickDrain() {
+	excess := len(m.dirty) - m.inflightCleans() - m.budget
+	for excess > 0 {
+		page, ok := m.nextVictim()
+		if !ok {
+			break
+		}
+		m.stats.RetuneCleans++
+		m.startClean(page)
+		excess--
+	}
+}
+
+// noteDrainProgress ratchets the drain bound down after a dirty-set
+// removal and finishes the drain when the set reaches the target. Every
+// deletion path (clean completion, power-fail flush) reports here so the
+// ratchet can never lag the set.
+func (m *Manager) noteDrainProgress() {
+	if !m.draining {
+		return
+	}
+	if len(m.dirty) < m.drainBound {
+		m.drainBound = len(m.dirty)
+	}
+	if m.drainBound <= m.budget {
+		m.draining = false
+		m.stats.DrainsCompleted++
+	}
+}
+
+// effectiveBudget is the operative dirty-page bound: the target budget,
+// or the drain ratchet while a staged shrink is in progress.
+func (m *Manager) effectiveBudget() int {
+	if m.draining {
+		return m.drainBound
+	}
+	return m.budget
+}
+
+// EffectiveDirtyBudget exposes the operative bound (see effectiveBudget)
+// for monitors and tests.
+func (m *Manager) EffectiveDirtyBudget() int { return m.effectiveBudget() }
+
+// Draining reports whether a staged budget shrink is in progress.
+func (m *Manager) Draining() bool { return m.draining }
 
 // checkInvariant asserts the durability bound. It is cheap (a map length
 // comparison) and runs on every state transition; a violation is a bug in
 // the manager, never a recoverable condition.
 func (m *Manager) checkInvariant() {
-	if len(m.dirty) > m.budget {
-		panic(fmt.Sprintf("core: INVARIANT VIOLATED: %d dirty pages > budget %d", len(m.dirty), m.budget))
+	if len(m.dirty) > m.effectiveBudget() {
+		panic(fmt.Sprintf("core: INVARIANT VIOLATED: %d dirty pages > effective budget %d (budget %d, draining %v)",
+			len(m.dirty), m.effectiveBudget(), m.budget, m.draining))
 	}
 }

@@ -272,11 +272,14 @@ func TestSetDirtyBudgetDecreaseCleansDown(t *testing.T) {
 	for p := 0; p < 16; p++ {
 		h.writePage(t, p, byte(p+1))
 	}
-	if err := h.mgr.SetDirtyBudget(5); err != nil {
+	if err := h.mgr.SetDirtyBudgetSync(5); err != nil {
 		t.Fatal(err)
 	}
 	if h.mgr.DirtyCount() > 5 {
 		t.Fatalf("dirty count %d exceeds retuned budget 5", h.mgr.DirtyCount())
+	}
+	if h.mgr.Draining() {
+		t.Fatal("sync retune left a drain in progress")
 	}
 	if h.mgr.Stats().RetuneCleans == 0 {
 		t.Fatal("no retune cleans recorded")

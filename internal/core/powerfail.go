@@ -23,8 +23,16 @@ type PowerFailReport struct {
 	// EnergyUsedJoules is the energy the flush consumed given the power
 	// model.
 	EnergyUsedJoules float64
-	// EnergyAvailableJoules is what the battery could supply.
+	// EnergyAvailableJoules is what the battery could supply when the
+	// failure hit.
 	EnergyAvailableJoules float64
+	// EnergyAtCompletionJoules is the battery's effective energy
+	// re-sampled after the flush finished. A battery capacity change
+	// that lands while the flush is in flight (cell dropout, scheduled
+	// ageing step) makes this smaller than EnergyAvailableJoules; the
+	// survival verdict uses the smaller of the two. With a fixed energy
+	// source the fields are equal.
+	EnergyAtCompletionJoules float64
 	// Survived reports whether the flush finished within the available
 	// energy — the durability guarantee.
 	Survived bool
@@ -40,9 +48,20 @@ type PowerFailReport struct {
 // be); verify durability with VerifyDurability and rebuild state with the
 // recovery package.
 func (m *Manager) PowerFail(pm power.Model, availableJoules float64) PowerFailReport {
+	return m.PowerFailWith(pm, func() float64 { return availableJoules })
+}
+
+// PowerFailWith is PowerFail against a live energy source: available is
+// sampled when the failure hits and again after the flush completes, so
+// a battery that shrinks mid-flush (an ageing step or cell dropout whose
+// event fires during the virtual time the flush occupies) cannot yield a
+// false success. The verdict charges the flush against the smaller of
+// the two samples — the conservative reading of "did the battery cover
+// it".
+func (m *Manager) PowerFailWith(pm power.Model, available func() float64) PowerFailReport {
 	report := PowerFailReport{
 		DirtyAtFailure:        len(m.dirty),
-		EnergyAvailableJoules: availableJoules,
+		EnergyAvailableJoules: available(),
 	}
 	m.events.Cancel(m.epochEvent)
 	m.closed = true
@@ -67,11 +86,23 @@ func (m *Manager) PowerFail(pm power.Model, availableJoules float64) PowerFailRe
 		delete(m.dirty, page)
 		pt.ClearDirty(page)
 	}
+	m.noteDrainProgress()
+	// Deliver any events whose time has come during the flush — a
+	// scheduled battery ageing step, for example — before re-sampling
+	// the energy, so the completion check sees the battery as it is now,
+	// not as it was when power failed.
+	m.events.RunUntil(m.clock, m.clock.Now())
+	report.EnergyAtCompletionJoules = available()
+
 	report.PagesFlushed = report.DirtyAtFailure
 	report.FlushTime = m.clock.Now().Sub(start)
 	watts := pm.FlushWatts(m.region.Size())
 	report.EnergyUsedJoules = watts * report.FlushTime.Seconds()
-	report.Survived = report.EnergyUsedJoules <= availableJoules
+	covered := report.EnergyAvailableJoules
+	if report.EnergyAtCompletionJoules < covered {
+		covered = report.EnergyAtCompletionJoules
+	}
+	report.Survived = report.EnergyUsedJoules <= covered
 	return report
 }
 

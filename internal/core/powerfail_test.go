@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+
+	"viyojit/internal/battery"
+	"viyojit/internal/power"
+	"viyojit/internal/sim"
+)
+
+// A battery capacity drop whose event lands during the virtual time a
+// power-fail flush occupies must be charged against the verdict: the
+// energy that "was available" at the failure instant was never all
+// deliverable. PowerFailWith re-samples at completion and takes the
+// smaller reading.
+func TestPowerFailWithBatteryShrinkMidFlush(t *testing.T) {
+	h := newHarness(t, 64, Config{DirtyBudgetPages: 32})
+	for p := 0; p < 16; p++ {
+		h.writePage(t, p, byte(p+1))
+	}
+	h.mgr.FlushAll()
+	for p := 0; p < 16; p++ { // re-dirty: these are what the flush covers
+		h.writePage(t, p, byte(p+0x40))
+	}
+
+	// The flush takes ~90 µs (16 pages at 2 GiB/s plus one per-IO
+	// latency); size the battery so the starting energy covers it with
+	// ~25 % headroom, then halve the capacity 50 µs in — mid-flush.
+	pm := power.Default()
+	watts := pm.FlushWatts(h.region.Size())
+	flushTime := h.dev.Config().PerIOLatency + h.dev.FlushTimeFor(16)
+	startJ := watts * flushTime.Seconds() * 1.25
+	batt := battery.MustNew(battery.Config{CapacityJoules: startJ, DepthOfDischarge: 1, Derating: 1})
+	h.events.Schedule(sim.Time(50*sim.Microsecond), func(sim.Time) {
+		if err := batt.SetCapacityJoules(startJ / 2); err != nil {
+			t.Error(err)
+		}
+	})
+
+	report := h.mgr.PowerFailWith(pm, batt.EffectiveJoules)
+	if report.EnergyAvailableJoules != startJ {
+		t.Fatalf("start sample %v J, want %v", report.EnergyAvailableJoules, startJ)
+	}
+	if report.EnergyAtCompletionJoules != startJ/2 {
+		t.Fatalf("completion sample %v J, want the sagged %v", report.EnergyAtCompletionJoules, startJ/2)
+	}
+	// Against the starting sample alone the flush fits (1.25× headroom);
+	// against the halved battery it does not — the verdict must say so.
+	if report.EnergyUsedJoules > report.EnergyAvailableJoules {
+		t.Fatalf("flush used %v J, exceeding even the pre-sag %v — test premise broken",
+			report.EnergyUsedJoules, report.EnergyAvailableJoules)
+	}
+	if report.EnergyUsedJoules <= report.EnergyAtCompletionJoules {
+		t.Fatalf("flush used %v J, within the sagged %v — test premise broken",
+			report.EnergyUsedJoules, report.EnergyAtCompletionJoules)
+	}
+	if report.Survived {
+		t.Fatal("flush reported survival against energy the battery no longer held")
+	}
+	if err := h.mgr.VerifyDurability(); err != nil {
+		t.Fatalf("durability after the flush itself: %v", err)
+	}
+}
+
+// With a fixed energy source the two samples agree and the verdict is
+// the classic single-sample one.
+func TestPowerFailFixedEnergySamplesAgree(t *testing.T) {
+	h := newHarness(t, 64, Config{DirtyBudgetPages: 32})
+	for p := 0; p < 8; p++ {
+		h.writePage(t, p, byte(p+1))
+	}
+	report := h.mgr.PowerFail(power.Default(), 1000)
+	if report.EnergyAvailableJoules != 1000 || report.EnergyAtCompletionJoules != 1000 {
+		t.Fatalf("samples %v/%v, want 1000/1000",
+			report.EnergyAvailableJoules, report.EnergyAtCompletionJoules)
+	}
+	if !report.Survived {
+		t.Fatal("1 kJ did not cover an 8-page flush")
+	}
+}

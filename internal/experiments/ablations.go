@@ -249,18 +249,27 @@ func RunBatteryRetune(seed uint64) (RetuneReport, error) {
 	joules := battery.JoulesForPages(pm, wantBudget, conservativeBW, region.Size(), region.PageSize())
 	batt := battery.MustNew(battery.Config{CapacityJoules: joules / 0.5, DepthOfDischarge: 0.5})
 
-	budgetFor := func(b *battery.Battery) int {
-		pages := b.DirtyBudgetPages(pm, conservativeBW, region.Size(), region.PageSize())
+	budgetForJoules := func(j float64) int {
+		bytes := pm.SustainableBytes(j, conservativeBW, region.Size())
+		pages := int(bytes / int64(region.PageSize()))
 		if pages < 1 {
 			pages = 1
 		}
 		return pages
 	}
+	budgetFor := func(b *battery.Battery) int { return budgetForJoules(b.EffectiveJoules()) }
 	initialBudget := budgetFor(batt)
 	mgr, err := core.NewManager(clock, events, region, dev, core.Config{DirtyBudgetPages: initialBudget})
 	if err != nil {
 		return RetuneReport{}, err
 	}
+	// Safe shrink: drain down to what the *projected* capacity covers
+	// before the cells actually drop out, so a power failure at any
+	// instant — including during the retune — stays within the energy
+	// actually available.
+	batt.OnShrink(func(_ *battery.Battery, projected float64) {
+		_ = mgr.SetDirtyBudgetSync(budgetForJoules(projected))
+	})
 	batt.OnChange(func(b *battery.Battery) {
 		_ = mgr.SetDirtyBudget(budgetFor(b))
 	})

@@ -24,6 +24,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"viyojit/internal/battery"
 	"viyojit/internal/core"
 	"viyojit/internal/dist"
 	"viyojit/internal/faultinject"
@@ -73,6 +74,24 @@ type Config struct {
 	HardwareAssist bool
 	// Epoch overrides the manager's scan period (0 = 1 ms).
 	Epoch sim.Duration
+	// SSD overrides the backing-device configuration (zero = defaults).
+	// The sag sweep below uses it to pick a slow write bandwidth so the
+	// battery's energy is dominated by page transfer time rather than
+	// fixed flush overhead — otherwise a 50 % sag saws through the
+	// overhead reserve and leaves nothing measurable to shrink.
+	SSD ssd.Config
+	// SagFraction, when non-zero, provisions a battery exactly covering
+	// BudgetPages (plus the fixed flush overhead) and schedules a single
+	// capacity step-down to this fraction of nameplate at SagAt. The
+	// battery's safe-shrink hook drains the dirty set to the projected
+	// coverage *before* the capacity drops, and every crash point —
+	// including ones landing mid-drain — additionally asserts
+	// dirty ≤ pages coverable by the battery's effective joules at the
+	// crash instant, and runs the flush against that live energy.
+	SagFraction float64
+	// SagAt is the virtual time of the sag step; 0 (with SagFraction
+	// set) selects 1.5 ms, roughly mid-run for the default workload.
+	SagAt sim.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -93,6 +112,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxCrashPoints == 0 {
 		c.MaxCrashPoints = 200
+	}
+	if c.SagFraction > 0 && c.SagAt == 0 {
+		c.SagAt = 1500 * sim.Microsecond
 	}
 	return c
 }
@@ -140,6 +162,12 @@ type Result struct {
 	// MaxDirtyAtCrash is the largest dirty set observed at any crash
 	// instant (always ≤ budget unless a violation was recorded).
 	MaxDirtyAtCrash int
+	// MidDrainCrashes counts crashes that landed while a staged budget
+	// shrink was still draining (sag sweeps only) — evidence the sweep
+	// exercised the transition window, not just the steady states.
+	MidDrainCrashes int
+	// SaggedCrashes counts crashes after the battery step-down applied.
+	SaggedCrashes int
 }
 
 // runState is one freshly built system plus the workload's shadow model.
@@ -151,6 +179,13 @@ type runState struct {
 	dev    *ssd.SSD
 	mgr    *core.Manager
 	inj    *faultinject.Injector
+
+	// Sag mode (Config.SagFraction > 0): the provisioned battery, the
+	// scheduled step-down event, and the joules→pages inverse of
+	// flushEnergy used both to retune the budget and to verify coverage.
+	batt     *battery.Battery
+	sagEvent *sim.Event
+	cover    func(joules float64) int
 
 	heapM *core.Mapping
 	walM  *core.Mapping
@@ -177,7 +212,7 @@ func build(cfg Config) (*runState, error) {
 	if err != nil {
 		return nil, err
 	}
-	st.dev = ssd.New(st.clock, st.events, ssd.Config{})
+	st.dev = ssd.New(st.clock, st.events, cfg.SSD)
 	if cfg.InjectFaults {
 		fcfg := cfg.Faults
 		fcfg.Seed = cfg.Seed ^ 0xFA17 // derived, so Config.Seed reproduces everything
@@ -206,6 +241,40 @@ func build(cfg Config) (*runState, error) {
 	}
 	if st.ptxHeap, err = ptx.Create(st.ptxM, ptxLogBytes); err != nil {
 		return nil, err
+	}
+	if cfg.SagFraction > 0 {
+		pm := power.Default()
+		dramBytes := st.region.Size()
+		// Provision exactly enough effective energy for a budget-sized
+		// flush (DoD and derating 1, so nameplate == effective).
+		st.batt = battery.MustNew(battery.Config{
+			CapacityJoules:   flushEnergy(cfg, st.dev, pm, dramBytes),
+			DepthOfDischarge: 1,
+			Derating:         1,
+		})
+		st.cover = func(j float64) int { return coverPages(cfg, st.dev, pm, dramBytes, j) }
+		// Safe shrink: drain to the projected coverage while the battery
+		// still holds its current charge, so a crash landing anywhere in
+		// the drain finds the dirty set covered by the energy actually
+		// present. The crasher's fire hook counts the drain's nested
+		// event steps, so crash points genuinely land mid-drain.
+		st.batt.OnShrink(func(_ *battery.Battery, projected float64) {
+			pages := st.cover(projected)
+			if pages < 1 {
+				pages = 1
+			}
+			_ = st.mgr.SetDirtyBudgetSync(pages)
+		})
+		st.batt.OnChange(func(b *battery.Battery) {
+			pages := st.cover(b.EffectiveJoules())
+			if pages < 1 {
+				pages = 1
+			}
+			_ = st.mgr.SetDirtyBudget(pages)
+		})
+		st.sagEvent = st.events.Schedule(sim.Time(0).Add(cfg.SagAt), func(sim.Time) {
+			_ = st.batt.SetCapacityJoules(st.batt.NameplateJoules() * cfg.SagFraction)
+		})
 	}
 	return st, nil
 }
@@ -275,12 +344,10 @@ func (st *runState) workload() error {
 	return nil
 }
 
-// flushEnergy returns battery energy sufficient for a correct flush of
-// at most budget dirty pages: the streaming transfer plus an allowance
-// for completing in-flight IOs (which may carry injected latency
-// spikes) and fixed per-IO latency. A dirty set over budget overruns
-// this energy and fails the Survived check.
-func flushEnergy(cfg Config, dev *ssd.SSD, pm power.Model, dramBytes int64) float64 {
+// flushOverhead is the fixed flush-time allowance beyond the streaming
+// transfer: completing in-flight IOs (which may carry injected latency
+// spikes), per-IO latency, and scheduling slack.
+func flushOverhead(cfg Config, dev *ssd.SSD) sim.Duration {
 	overhead := sim.Duration(dev.Config().MaxOutstanding+1) * dev.Config().PerIOLatency
 	if cfg.InjectFaults {
 		spike := cfg.Faults.SpikeLatency
@@ -290,8 +357,27 @@ func flushEnergy(cfg Config, dev *ssd.SSD, pm power.Model, dramBytes int64) floa
 		overhead += sim.Duration(dev.Config().MaxOutstanding) * spike
 	}
 	overhead += sim.Millisecond // scheduling slack
-	secs := dev.FlushTimeFor(cfg.BudgetPages).Seconds() + overhead.Seconds()
+	return overhead
+}
+
+// flushEnergy returns battery energy sufficient for a correct flush of
+// at most budget dirty pages: the streaming transfer plus flushOverhead.
+// A dirty set over budget overruns this energy and fails the Survived
+// check.
+func flushEnergy(cfg Config, dev *ssd.SSD, pm power.Model, dramBytes int64) float64 {
+	secs := dev.FlushTimeFor(cfg.BudgetPages).Seconds() + flushOverhead(cfg, dev).Seconds()
 	return pm.FlushWatts(dramBytes) * secs
+}
+
+// coverPages inverts flushEnergy: the number of dirty pages a battery
+// holding joules can flush, after reserving the same fixed overhead. The
+// tiny epsilon undoes float round-off so coverPages(flushEnergy(n)) == n.
+func coverPages(cfg Config, dev *ssd.SSD, pm power.Model, dramBytes int64, joules float64) int {
+	secs := joules/pm.FlushWatts(dramBytes) - flushOverhead(cfg, dev).Seconds()
+	if secs <= 0 {
+		return 0
+	}
+	return int(secs*float64(dev.EffectiveWriteBandwidth())/float64(dev.Config().PageSize) + 1e-9)
 }
 
 // verifyCrash runs the full post-failure protocol on a crashed run and
@@ -303,24 +389,46 @@ func verifyCrash(st *runState, step uint64, res *Result) []Violation {
 	}
 	cfg := st.cfg
 
-	// (1) The bound the battery is provisioned against.
-	dirty, budget := st.mgr.DirtyCount(), st.mgr.DirtyBudget()
+	// (1) The bound the battery is provisioned against. In sag mode the
+	// operative bound is the staged-drain ratchet, and additionally the
+	// dirty set must be coverable by the energy the battery actually
+	// holds at this instant — the re-provisioning invariant, checked
+	// even (especially) when the crash landed mid-drain.
+	dirty, budget := st.mgr.DirtyCount(), st.mgr.EffectiveDirtyBudget()
 	if dirty > res.MaxDirtyAtCrash {
 		res.MaxDirtyAtCrash = dirty
 	}
 	if dirty > budget {
-		fail("dirty count %d exceeds budget %d at crash", dirty, budget)
+		fail("dirty count %d exceeds effective budget %d at crash", dirty, budget)
+	}
+	if st.mgr.Draining() {
+		res.MidDrainCrashes++
+	}
+	if st.batt != nil {
+		if coverable := st.cover(st.batt.EffectiveJoules()); dirty > coverable {
+			fail("dirty count %d exceeds %d pages coverable by %.3f J effective",
+				dirty, coverable, st.batt.EffectiveJoules())
+		}
+		if st.sagEvent != nil && st.sagEvent.Cancelled() {
+			res.SaggedCrashes++
+		}
 	}
 
 	// (2) Battery-powered flush within provisioned energy. Injected SSD
 	// faults stop at the wall: the backup path is engineered to
 	// complete (see ssd.SetFaultInjector), and in-flight IOs already
-	// carry their fates.
+	// carry their fates. A scheduled sag stops at the wall too — the
+	// battery does not age over the milliseconds the flush takes — so
+	// the flush is charged against the energy present at the crash.
 	if st.inj != nil {
 		st.inj.Disable()
 	}
 	pm := power.Default()
 	joules := flushEnergy(cfg, st.dev, pm, st.region.Size())
+	if st.batt != nil {
+		st.events.Cancel(st.sagEvent)
+		joules = st.batt.EffectiveJoules()
+	}
 	report := st.mgr.PowerFail(pm, joules)
 	if !report.Survived {
 		fail("flush of %d pages used %.3f J of %.3f J provisioned",

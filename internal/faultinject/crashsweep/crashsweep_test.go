@@ -1,10 +1,13 @@
 package crashsweep
 
 import (
+	"os"
+	"strconv"
 	"testing"
 
 	"viyojit/internal/faultinject"
 	"viyojit/internal/sim"
+	"viyojit/internal/ssd"
 )
 
 // TestSweepYCSBA is the acceptance sweep: ≥200 seeded crash points
@@ -72,6 +75,80 @@ func TestSweepWithSSDFaults(t *testing.T) {
 	}
 	for _, v := range res.Violations {
 		t.Errorf("violation: %s", v)
+	}
+}
+
+// TestSweepBatterySag is the online-re-provisioning acceptance sweep: a
+// battery provisioned for the full budget sags to 50 % mid-workload, the
+// safe-shrink hook drains the dirty set to the halved coverage before
+// the energy drops, and every one of ≥200 crash points — including ones
+// landing mid-drain — satisfies dirty ≤ pages coverable by the battery's
+// effective joules at the crash instant, with the flush charged against
+// that live energy. The slow SSD makes page transfer dominate the flush
+// energy, so the 50 % sag translates into a real budget shrink (24 → 8
+// pages) rather than vanishing into the fixed-overhead reserve.
+func TestSweepBatterySag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sag crash-point sweep in -short mode")
+	}
+	cfg := Config{
+		Seed:           0xBA77_5A6,
+		MaxCrashPoints: 200,
+		SagFraction:    0.5,
+		SSD:            ssd.Config{WriteBandwidth: 16 << 20},
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("sag sweep: %v", err)
+	}
+	t.Logf("baseline events %d, stride %d, crash points %d (+%d ran past end), max dirty %d, mid-drain crashes %d, sagged crashes %d",
+		res.BaselineEvents, res.Stride, res.CrashPoints, res.Completed,
+		res.MaxDirtyAtCrash, res.MidDrainCrashes, res.SaggedCrashes)
+	if res.CrashPoints+res.Completed < 200 {
+		t.Fatalf("swept %d points, want ≥ 200", res.CrashPoints+res.Completed)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if res.SaggedCrashes == 0 {
+		t.Error("no crash point landed after the sag; sweep never tested the shrunken battery")
+	}
+	if res.MidDrainCrashes == 0 {
+		t.Error("no crash point landed mid-drain; sweep never tested the transition window")
+	}
+}
+
+// TestSweepSeedMatrix is the CI matrix entry point: setting
+// CRASHSWEEP_SEED runs a moderate sweep — plain and sagging — under that
+// seed, so each matrix job covers a different crash-point lattice.
+func TestSweepSeedMatrix(t *testing.T) {
+	env := os.Getenv("CRASHSWEEP_SEED")
+	if env == "" {
+		t.Skip("CRASHSWEEP_SEED not set (CI matrix dimension)")
+	}
+	seed, err := strconv.ParseUint(env, 0, 64)
+	if err != nil {
+		t.Fatalf("CRASHSWEEP_SEED %q: %v", env, err)
+	}
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"plain", Config{Seed: seed, MaxCrashPoints: 60}},
+		{"sag", Config{Seed: seed, MaxCrashPoints: 60, SagFraction: 0.5, SSD: ssd.Config{WriteBandwidth: 16 << 20}}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := Run(tc.cfg)
+			if err != nil {
+				t.Fatalf("sweep: %v", err)
+			}
+			if res.CrashPoints == 0 {
+				t.Fatal("no crash points")
+			}
+			for _, v := range res.Violations {
+				t.Errorf("violation: %s", v)
+			}
+		})
 	}
 }
 

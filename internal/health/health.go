@@ -1,0 +1,377 @@
+// Package health closes the provisioning loop the paper leaves open: it
+// continuously re-derives the dirty budget from the *live* battery and
+// SSD, and drives the manager through the degradation ladder when either
+// input decays past what normal operation can absorb.
+//
+// The paper derives the budget once, at install time, from battery
+// joules × power model × SSD write bandwidth. Both inputs are runtime
+// signals in deployment: batteries age and derate (paper §2.2), and SSD
+// write bandwidth degrades with wear. A Monitor samples them on the sim
+// clock every Interval:
+//
+//   - battery effective joules (after depth-of-discharge and derating),
+//   - the SSD's wear-modelled bandwidth (ssd.EffectiveWriteBandwidth)
+//     scaled by the *measured* per-IO goodput relative to what the model
+//     predicts — so a device slower or flakier than its spec sheet
+//     shrinks the budget even before its wear counters say it should,
+//   - the manager's clean-error streak.
+//
+// From those it recomputes the budget (growth applies immediately,
+// shrink is the manager's staged drain) and escalates or recovers on the
+// ladder: a battery that cannot cover even one page, or an SSD erroring
+// persistently, triggers EmergencyFlush; repeated failed drains mark the
+// device dead and fall back to ReadOnly; sustained good samples Resume
+// under hysteresis.
+package health
+
+import (
+	"fmt"
+
+	"viyojit/internal/battery"
+	"viyojit/internal/core"
+	"viyojit/internal/power"
+	"viyojit/internal/sim"
+)
+
+// Config tunes the monitor. Zero values select the documented defaults.
+type Config struct {
+	// Interval is the sampling period on the sim clock; 0 selects 2 ms
+	// (a couple of manager epochs).
+	Interval sim.Duration
+	// BandwidthDerating is the conservative fraction applied to the
+	// bandwidth estimate before converting joules to pages (§5.1 calls
+	// for a conservative estimate); 0 selects 0.8.
+	BandwidthDerating float64
+	// FlushOverhead is the fixed flush-time allowance reserved before
+	// converting energy into pages (per-IO latency, protection changes,
+	// scheduling slack); 0 selects 500 µs.
+	FlushOverhead sim.Duration
+	// EmergencyErrorStreak is the clean-error streak at a sample that
+	// escalates to EmergencyFlush; 0 selects 6 (twice the default
+	// Degraded threshold).
+	EmergencyErrorStreak int
+	// DrainAttempts is how many consecutive samples an emergency drain
+	// may fail to empty the dirty set before the SSD is declared dead
+	// and the ladder drops to ReadOnly; 0 selects 2.
+	DrainAttempts int
+	// RecoverTicks is the resume hysteresis: consecutive good samples
+	// (drain complete, budget positive, no fresh errors) required at
+	// EmergencyFlush before writes unblock; 0 selects 2.
+	RecoverTicks int
+	// MaxSnapshots bounds the observability ring; 0 selects 1024.
+	MaxSnapshots int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Interval == 0 {
+		c.Interval = 2 * sim.Millisecond
+	}
+	if c.BandwidthDerating == 0 {
+		c.BandwidthDerating = 0.8
+	}
+	if c.FlushOverhead == 0 {
+		c.FlushOverhead = 500 * sim.Microsecond
+	}
+	if c.EmergencyErrorStreak == 0 {
+		c.EmergencyErrorStreak = 6
+	}
+	if c.DrainAttempts == 0 {
+		c.DrainAttempts = 2
+	}
+	if c.RecoverTicks == 0 {
+		c.RecoverTicks = 2
+	}
+	if c.MaxSnapshots == 0 {
+		c.MaxSnapshots = 1024
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Interval <= 0 {
+		return fmt.Errorf("health: interval %v must be positive", c.Interval)
+	}
+	if c.BandwidthDerating <= 0 || c.BandwidthDerating > 1 {
+		return fmt.Errorf("health: bandwidth derating %v outside (0,1]", c.BandwidthDerating)
+	}
+	return nil
+}
+
+// Policy is the runtime-tunable subset of Config: how conservatively
+// the monitor converts its live inputs into a budget. Operators adjust
+// it without restarting the monitor (System.SetBudgetPolicy).
+type Policy struct {
+	// BandwidthDerating as in Config.BandwidthDerating.
+	BandwidthDerating float64
+	// FlushOverhead as in Config.FlushOverhead.
+	FlushOverhead sim.Duration
+}
+
+// SetPolicy replaces the monitor's derivation knobs; the next tick uses
+// them. Zero fields keep their current values.
+func (m *Monitor) SetPolicy(p Policy) error {
+	next := m.cfg
+	if p.BandwidthDerating != 0 {
+		next.BandwidthDerating = p.BandwidthDerating
+	}
+	if p.FlushOverhead != 0 {
+		next.FlushOverhead = p.FlushOverhead
+	}
+	if err := next.validate(); err != nil {
+		return err
+	}
+	m.cfg = next
+	return nil
+}
+
+// Snapshot is one monitor sample — what the monitor saw and what it did.
+type Snapshot struct {
+	At sim.Time
+	// State is the ladder rung after this sample's actions.
+	State core.HealthState
+	// EffectiveJoules is the battery's usable energy at the sample.
+	EffectiveJoules float64
+	// BandwidthEstimate is the derated bytes/sec used for the budget.
+	BandwidthEstimate int64
+	// MeasuredBandwidth is the raw per-IO goodput from the SSD's
+	// measurement window (0 with too few samples).
+	MeasuredBandwidth int64
+	// WearCycles is the SSD's accumulated full-capacity write passes.
+	WearCycles float64
+	// Budget is the derived dirty budget in pages.
+	Budget int
+	// Dirty and Draining mirror the manager at the sample.
+	Dirty    int
+	Draining bool
+	// ErrorStreak is the manager's consecutive clean failures.
+	ErrorStreak int
+}
+
+// Stats counts monitor activity.
+type Stats struct {
+	Ticks           uint64
+	Retunes         uint64 // budget values pushed to the manager
+	EmergencyEnters uint64
+	DrainFailures   uint64
+	ReadOnlyFalls   uint64
+	Recoveries      uint64
+}
+
+// Monitor periodically re-derives the dirty budget and operates the
+// degradation ladder. It is single-goroutine like the rest of the
+// simulation.
+type Monitor struct {
+	events *sim.Queue
+	batt   *battery.Battery
+	mgr    *core.Manager
+	pm     power.Model
+	cfg    Config
+
+	lastBudget    int
+	drainFails    int
+	recoverStreak int
+	snapshots     []Snapshot
+	event         *sim.Event
+	closed        bool
+	stats         Stats
+}
+
+// NewMonitor wires a monitor over an already-running manager and battery
+// and arms its first tick one Interval from now.
+func NewMonitor(events *sim.Queue, clock *sim.Clock, batt *battery.Battery, mgr *core.Manager, pm power.Model, cfg Config) (*Monitor, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	m := &Monitor{
+		events:     events,
+		batt:       batt,
+		mgr:        mgr,
+		pm:         pm,
+		cfg:        cfg,
+		lastBudget: mgr.DirtyBudget(),
+	}
+	m.schedule(clock.Now().Add(cfg.Interval))
+	return m, nil
+}
+
+// Close disarms the monitor.
+func (m *Monitor) Close() {
+	if m.closed {
+		return
+	}
+	m.closed = true
+	m.events.Cancel(m.event)
+}
+
+// Stats returns a snapshot of the counters.
+func (m *Monitor) Stats() Stats { return m.stats }
+
+// Snapshots returns the recorded sample ring, oldest first.
+func (m *Monitor) Snapshots() []Snapshot {
+	out := make([]Snapshot, len(m.snapshots))
+	copy(out, m.snapshots)
+	return out
+}
+
+// LastBudget returns the most recent budget the monitor derived.
+func (m *Monitor) LastBudget() int { return m.lastBudget }
+
+func (m *Monitor) schedule(at sim.Time) {
+	m.event = m.events.Schedule(at, func(t sim.Time) {
+		if m.closed {
+			return
+		}
+		m.tick(t)
+		m.schedule(t.Add(m.cfg.Interval))
+	})
+}
+
+// BudgetPages converts effective battery joules into a dirty budget the
+// same way viyojit.New does at construction: reserve the fixed flush
+// overhead, convert the remaining runtime into bytes at the (already
+// derated) bandwidth, cap at the region size. Exposed so provisioning
+// tools (cmd/battery-calc) print exactly the trajectory the monitor
+// computes at runtime.
+func BudgetPages(pm power.Model, effectiveJoules float64, bandwidth, dramBytes int64, pageSize int, overhead sim.Duration) int {
+	if bandwidth <= 0 || pageSize <= 0 {
+		return 0
+	}
+	watts := pm.FlushWatts(dramBytes)
+	seconds := effectiveJoules/watts - overhead.Seconds()
+	if seconds <= 0 {
+		return 0
+	}
+	// The epsilon absorbs float round-off when the energy was computed
+	// for an exact page count (JoulesForPages round-trips).
+	pages := int(seconds*float64(bandwidth)/float64(pageSize) + 1e-9)
+	if max := int(dramBytes / int64(pageSize)); pages > max {
+		pages = max
+	}
+	return pages
+}
+
+// bandwidthEstimate is the monitor's live bandwidth input: the SSD's
+// wear-modelled sustained bandwidth, scaled down further when the
+// *measured* per-IO goodput falls short of what the device model
+// predicts for page-sized IOs. The relative comparison matters: even a
+// healthy device measures far below its sustained bandwidth on 4 KiB
+// IOs (per-IO latency dominates), so the measured figure only bites as
+// a ratio against that expectation — a device erroring or stalling
+// measures slow relative to its own spec and the budget shrinks before
+// the wear counters say it should.
+func (m *Monitor) bandwidthEstimate() (estimate, measured int64) {
+	dev := m.mgr.SSD()
+	eff := dev.EffectiveWriteBandwidth()
+	measured = dev.MeasuredWriteBandwidth()
+	scaled := float64(eff)
+	if measured > 0 {
+		devCfg := dev.Config()
+		perIO := devCfg.PerIOLatency.Seconds() + float64(devCfg.PageSize)/float64(eff)
+		expected := float64(devCfg.PageSize) / perIO
+		if ratio := float64(measured) / expected; ratio < 1 {
+			scaled *= ratio
+		}
+	}
+	return int64(scaled * m.cfg.BandwidthDerating), measured
+}
+
+// tick is one monitor sample: derive the budget, retune or escalate,
+// and record a snapshot.
+func (m *Monitor) tick(at sim.Time) {
+	m.stats.Ticks++
+	joules := m.batt.EffectiveJoules()
+	bw, measured := m.bandwidthEstimate()
+	region := m.mgr.Region()
+	budget := BudgetPages(m.pm, joules, bw, region.Size(), region.PageSize(), m.cfg.FlushOverhead)
+	m.lastBudget = budget
+
+	switch m.mgr.HealthState() {
+	case core.StateReadOnly:
+		// Terminal without operator intervention (SSD replacement would
+		// come with an explicit Resume); keep observing.
+
+	case core.StateEmergencyFlush:
+		remaining := m.mgr.RetryDrain()
+		if remaining > 0 {
+			m.stats.DrainFailures++
+			m.drainFails++
+			if m.drainFails >= m.cfg.DrainAttempts {
+				m.mgr.EnterReadOnly()
+				m.stats.ReadOnlyFalls++
+			}
+			m.recoverStreak = 0
+			break
+		}
+		// Drained. Resume only once the inputs support writing again,
+		// and only after RecoverTicks consecutive good samples. The
+		// recovery gate judges the budget on the wear-model bandwidth,
+		// not the measured one: the measurement window is full of the
+		// outage's zero-goodput samples, and with writes blocked no new
+		// samples can displace them — the completed drain is the direct
+		// evidence the device writes again.
+		wearBW := int64(float64(m.mgr.SSD().EffectiveWriteBandwidth()) * m.cfg.BandwidthDerating)
+		recoveryBudget := BudgetPages(m.pm, joules, wearBW, region.Size(), region.PageSize(), m.cfg.FlushOverhead)
+		if recoveryBudget >= 1 && m.mgr.ErrorStreak() == 0 {
+			m.recoverStreak++
+			if m.recoverStreak >= m.cfg.RecoverTicks {
+				// Come back at Degraded, not Healthy: the lower rungs'
+				// own hysteresis decides when the device is trusted
+				// again. Restart measurement so the next ticks derive
+				// the budget from fresh samples, not the outage's.
+				m.mgr.SSD().ResetMeasurement()
+				_ = m.mgr.Resume(core.StateDegraded)
+				m.stats.Recoveries++
+				m.drainFails = 0
+				m.recoverStreak = 0
+				m.retune(recoveryBudget)
+			}
+		} else {
+			m.recoverStreak = 0
+		}
+
+	default: // Healthy, Degraded
+		if m.mgr.ErrorStreak() >= m.cfg.EmergencyErrorStreak || (budget < 1 && m.mgr.DirtyCount() > 0) {
+			m.drainFails = 0
+			m.recoverStreak = 0
+			m.stats.EmergencyEnters++
+			if m.mgr.EnterEmergencyFlush() > 0 {
+				m.stats.DrainFailures++
+				m.drainFails++
+			}
+			break
+		}
+		if budget >= 1 {
+			m.retune(budget)
+		}
+	}
+
+	m.record(Snapshot{
+		At:                at,
+		State:             m.mgr.HealthState(),
+		EffectiveJoules:   joules,
+		BandwidthEstimate: bw,
+		MeasuredBandwidth: measured,
+		WearCycles:        m.mgr.SSD().WearCycles(),
+		Budget:            budget,
+		Dirty:             m.mgr.DirtyCount(),
+		Draining:          m.mgr.Draining(),
+		ErrorStreak:       m.mgr.ErrorStreak(),
+	})
+}
+
+func (m *Monitor) retune(budget int) {
+	if budget == m.mgr.DirtyBudget() {
+		return
+	}
+	if err := m.mgr.SetDirtyBudget(budget); err == nil {
+		m.stats.Retunes++
+	}
+}
+
+func (m *Monitor) record(s Snapshot) {
+	m.snapshots = append(m.snapshots, s)
+	if len(m.snapshots) > m.cfg.MaxSnapshots {
+		m.snapshots = m.snapshots[len(m.snapshots)-m.cfg.MaxSnapshots:]
+	}
+}

@@ -39,6 +39,25 @@ type Config struct {
 	// Compression enables transfer-size compression (§7): the bus cost
 	// of a write is its estimated compressed size.
 	Compression bool
+	// WearCapacityBytes is the modelled flash capacity used for
+	// wear-driven bandwidth degradation: as cumulative writes approach
+	// and exceed full-capacity passes, sustained write bandwidth
+	// declines (program/erase cycles slow and garbage collection eats
+	// into the channel). 0 disables degradation; WearBytesPerCell still
+	// reports wear against any capacity the caller supplies.
+	WearCapacityBytes int64
+	// WearBandwidthDecay is the fraction of nominal write bandwidth
+	// lost per full-capacity write pass when WearCapacityBytes is set.
+	// 0 selects 0.04 (4 % per pass, roughly linearised from published
+	// NAND endurance curves).
+	WearBandwidthDecay float64
+	// WearBandwidthFloor is the lower bound on the degraded bandwidth
+	// as a fraction of nominal. 0 selects 0.25.
+	WearBandwidthFloor float64
+	// MeasureWindow is the number of recent write completions kept for
+	// the measured-bandwidth/latency estimators the health monitor
+	// samples. 0 selects 64.
+	MeasureWindow int
 }
 
 func (c Config) withDefaults() Config {
@@ -56,6 +75,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxOutstanding == 0 {
 		c.MaxOutstanding = 16
+	}
+	if c.WearBandwidthDecay == 0 {
+		c.WearBandwidthDecay = 0.04
+	}
+	if c.WearBandwidthFloor == 0 {
+		c.WearBandwidthFloor = 0.25
+	}
+	if c.MeasureWindow == 0 {
+		c.MeasureWindow = 64
 	}
 	return c
 }
@@ -100,6 +128,18 @@ type SSD struct {
 	bandwidth sim.Time // next time the write channel is free
 	stats     Stats
 	reduction ReductionStats
+
+	// window is the ring of recent write completions backing the
+	// measured-bandwidth/latency estimators (see MeasuredWriteBandwidth).
+	window []measureSample
+	winPos int
+}
+
+// measureSample is one completed write in the measurement window.
+type measureSample struct {
+	submitted sim.Time
+	done      sim.Time
+	bytes     int // 0 for a failed (transient/torn) write: no goodput
 }
 
 // New creates an SSD on the given clock and event queue. The event queue
@@ -163,7 +203,7 @@ func (d *SSD) WritePageAsync(page mmu.PageID, data []byte, onComplete func(sim.T
 	if d.bandwidth > start {
 		start = d.bandwidth
 	}
-	xfer := transferTime(d.transferBytes(data), d.cfg.WriteBandwidth)
+	xfer := transferTime(d.transferBytes(data), d.EffectiveWriteBandwidth())
 	d.bandwidth = start.Add(xfer)
 	done := d.bandwidth.Add(d.cfg.PerIOLatency)
 	if fault.ExtraLatency > 0 {
@@ -176,6 +216,7 @@ func (d *SSD) WritePageAsync(page mmu.PageID, data []byte, onComplete func(sim.T
 
 	d.events.Schedule(done, func(at sim.Time) {
 		var err error
+		goodput := 0
 		switch fault.Fault {
 		case FaultTransient:
 			// The attempt consumed bus time but nothing landed.
@@ -188,11 +229,13 @@ func (d *SSD) WritePageAsync(page mmu.PageID, data []byte, onComplete func(sim.T
 		default:
 			d.store[page] = data
 			d.stats.BytesWritten += uint64(len(data))
+			goodput = len(data)
 		}
 		d.inflight--
 		d.stats.WritesCompleted++
 		d.stats.TotalWriteLag += at.Sub(submitted)
 		d.stats.completedForAvg++
+		d.recordSample(measureSample{submitted: submitted, done: at, bytes: goodput})
 		if onComplete != nil {
 			onComplete(at, err)
 		}
@@ -245,7 +288,7 @@ func (d *SSD) WriteBatch(pages map[mmu.PageID][]byte) sim.Time {
 	if total == 0 {
 		return d.clock.Now()
 	}
-	d.clock.Advance(d.cfg.PerIOLatency + transferTime(total, d.cfg.WriteBandwidth))
+	d.clock.Advance(d.cfg.PerIOLatency + transferTime(total, d.EffectiveWriteBandwidth()))
 	for page, data := range pages {
 		cp := make([]byte, len(data))
 		copy(cp, data)
@@ -297,10 +340,10 @@ func (d *SSD) Durable(page mmu.PageID) ([]byte, bool) {
 func (d *SSD) DurablePages() int { return len(d.store) }
 
 // FlushTimeFor returns the time needed to write n pages back-to-back at
-// the device's sustained bandwidth — the quantity battery provisioning is
-// computed from (paper §5.1).
+// the device's sustained (wear-degraded) bandwidth — the quantity battery
+// provisioning is computed from (paper §5.1).
 func (d *SSD) FlushTimeFor(nPages int) sim.Duration {
-	return transferTime(nPages*d.cfg.PageSize, d.cfg.WriteBandwidth)
+	return transferTime(nPages*d.cfg.PageSize, d.EffectiveWriteBandwidth())
 }
 
 // WearBytesPerCell returns total bytes written divided by capacity — a
@@ -313,4 +356,92 @@ func (d *SSD) WearBytesPerCell(capacityBytes int64) float64 {
 		return 0
 	}
 	return float64(d.stats.BytesWritten) / float64(capacityBytes)
+}
+
+// WearCycles returns the number of full-capacity write passes accumulated
+// against the configured WearCapacityBytes (0 if wear modelling is off).
+func (d *SSD) WearCycles() float64 {
+	return d.WearBytesPerCell(d.cfg.WearCapacityBytes)
+}
+
+// DegradedBandwidth is the wear model as a pure function: nominal write
+// bandwidth reduced by decay per full-capacity write pass, floored at
+// floor×nominal. Exposed so provisioning tools (cmd/battery-calc) can
+// print the same trajectory the device — and hence the health monitor —
+// computes at runtime.
+func DegradedBandwidth(nominal int64, cycles, decay, floor float64) int64 {
+	f := 1 - decay*cycles
+	if f < floor {
+		f = floor
+	}
+	return int64(float64(nominal) * f)
+}
+
+// EffectiveWriteBandwidth returns the sustained write bandwidth after
+// wear degradation: nominal when WearCapacityBytes is 0.
+func (d *SSD) EffectiveWriteBandwidth() int64 {
+	if d.cfg.WearCapacityBytes <= 0 {
+		return d.cfg.WriteBandwidth
+	}
+	return DegradedBandwidth(d.cfg.WriteBandwidth, d.WearCycles(),
+		d.cfg.WearBandwidthDecay, d.cfg.WearBandwidthFloor)
+}
+
+// recordSample appends one completed write to the measurement ring.
+func (d *SSD) recordSample(s measureSample) {
+	if len(d.window) < d.cfg.MeasureWindow {
+		d.window = append(d.window, s)
+		return
+	}
+	d.window[d.winPos] = s
+	d.winPos = (d.winPos + 1) % len(d.window)
+}
+
+// MeasuredWriteBandwidth returns the write goodput observed over the
+// measurement window: successful bytes divided by the *busy* time — the
+// sum of each IO's submit-to-completion span. Busy time rather than wall
+// span so idle gaps between writes on a quiet system don't read as a
+// slow device; under pipelining, queue wait makes the estimate
+// conservative, which is the safe direction for budget derivation. It
+// returns 0 when fewer than two completions have been observed —
+// callers fall back to the nominal model. Failed writes contribute time
+// but no bytes, so a device that is erroring measures slow, which is
+// exactly what the health monitor should see.
+func (d *SSD) MeasuredWriteBandwidth() int64 {
+	if len(d.window) < 2 {
+		return 0
+	}
+	var bytes int64
+	var busy sim.Duration
+	for _, s := range d.window {
+		bytes += int64(s.bytes)
+		busy += s.done.Sub(s.submitted)
+	}
+	if busy <= 0 {
+		return 0
+	}
+	return int64(float64(bytes) / busy.Seconds())
+}
+
+// ResetMeasurement clears the measurement window. The health monitor
+// calls it when resuming from an outage: the window is full of the
+// outage's zero-goodput samples, and with writes blocked during the
+// outage no new samples arrive to displace them — left in place they
+// would pin the measured estimate at zero forever.
+func (d *SSD) ResetMeasurement() {
+	d.window = d.window[:0]
+	d.winPos = 0
+}
+
+// MeasuredWriteLatency returns the mean submit-to-completion latency over
+// the measurement window (0 with no samples).
+func (d *SSD) MeasuredWriteLatency() sim.Duration {
+	if len(d.window) == 0 {
+		return 0
+	}
+	var total sim.Duration
+	for _, s := range d.window {
+		total += s.done.Sub(s.submitted)
+	}
+	return total / sim.Duration(len(d.window))
 }

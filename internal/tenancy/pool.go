@@ -6,9 +6,9 @@
 // quiet tenants are not using (statistical multiplexing).
 //
 // Rebalancing is safe by construction: shrinking a tenant's budget goes
-// through core.Manager.SetDirtyBudget, which synchronously cleans the
-// tenant down before committing, and donors shrink before receivers
-// grow, so the sum of budgets never exceeds the battery's total.
+// through core.Manager.SetDirtyBudgetSync, which cleans the tenant down
+// before returning, and donors shrink before receivers grow, so the sum
+// of budgets never exceeds the battery's total.
 package tenancy
 
 import (
@@ -191,7 +191,9 @@ func (p *Pool) apply(grants []int) {
 		}
 	}
 	for _, c := range shrinks {
-		if err := c.t.Manager.SetDirtyBudget(c.grant); err != nil {
+		// Synchronous: the freed pages must actually be clean before the
+		// grow phase hands their coverage to another tenant.
+		if err := c.t.Manager.SetDirtyBudgetSync(c.grant); err != nil {
 			p.stats.ShrinkFailures++
 			continue
 		}

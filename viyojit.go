@@ -30,6 +30,7 @@ import (
 
 	"viyojit/internal/battery"
 	"viyojit/internal/core"
+	"viyojit/internal/health"
 	"viyojit/internal/mmu"
 	"viyojit/internal/nvdram"
 	"viyojit/internal/power"
@@ -56,6 +57,22 @@ type (
 	PowerModel = power.Model
 	// Duration is virtual time in nanoseconds.
 	Duration = sim.Duration
+	// HealthConfig tunes the runtime health monitor.
+	HealthConfig = health.Config
+	// HealthSnapshot is one health-monitor sample.
+	HealthSnapshot = health.Snapshot
+	// BudgetPolicy is the runtime-tunable budget-derivation policy.
+	BudgetPolicy = health.Policy
+	// HealthState is the manager's rung on the degradation ladder.
+	HealthState = core.HealthState
+)
+
+// Degradation-ladder rungs (see core.HealthState).
+const (
+	StateHealthy        = core.StateHealthy
+	StateDegraded       = core.StateDegraded
+	StateEmergencyFlush = core.StateEmergencyFlush
+	StateReadOnly       = core.StateReadOnly
 )
 
 // Victim policies (the paper's choice first).
@@ -101,6 +118,14 @@ type Config struct {
 	// bandwidth used when converting battery joules into the dirty
 	// budget (§5.1 calls for a conservative estimate); 0 selects 0.8.
 	BandwidthDerating float64
+	// Health tunes the runtime health monitor that re-derives the
+	// budget from the live battery and SSD and operates the degradation
+	// ladder. Zero values select the monitor's defaults (its
+	// BandwidthDerating follows this Config's unless set explicitly).
+	Health HealthConfig
+	// DisableHealthMonitor turns the monitor off; budget retuning then
+	// happens only through the battery's change hooks.
+	DisableHealthMonitor bool
 }
 
 // fixedFlushOverhead is the flush-time allowance reserved when deriving
@@ -118,6 +143,7 @@ type System struct {
 	batt    *battery.Battery
 	pm      power.Model
 	manager *core.Manager
+	monitor *health.Monitor
 	cfg     Config
 }
 
@@ -176,22 +202,14 @@ func New(cfg Config) (*System, error) {
 		return nil, err
 	}
 
-	budgetFor := func(b *battery.Battery) int {
-		// Reserve fixed flush overhead (per-IO latency, fault-window
-		// slack) before converting the remaining energy into pages, so
-		// small budgets survive their own flushes.
-		watts := cfg.Power.FlushWatts(region.Size())
-		seconds := b.EffectiveJoules()/watts - fixedFlushOverhead.Seconds()
-		if seconds <= 0 {
-			return 0
-		}
-		pages := int(seconds * float64(conservativeBW) / float64(region.PageSize()))
-		if pages > region.NumPages() {
-			pages = region.NumPages()
-		}
-		return pages
+	// Reserve fixed flush overhead (per-IO latency, fault-window slack)
+	// before converting the remaining energy into pages, so small
+	// budgets survive their own flushes. health.BudgetPages is the same
+	// derivation the runtime monitor applies each tick.
+	budgetForJoules := func(j float64) int {
+		return health.BudgetPages(cfg.Power, j, conservativeBW, region.Size(), region.PageSize(), fixedFlushOverhead)
 	}
-	budget := budgetFor(batt)
+	budget := budgetForJoules(batt.EffectiveJoules())
 	if budget < 1 {
 		return nil, fmt.Errorf("viyojit: battery of %.1f J effective cannot back even one page", batt.EffectiveJoules())
 	}
@@ -205,13 +223,39 @@ func New(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Safe shrink: before a capacity-reducing change applies, drain the
+	// dirty set down to what the *projected* energy covers — while the
+	// battery still holds its current charge — so "dirty ≤ pages the
+	// battery can flush" holds at every instant of the step-down.
+	batt.OnShrink(func(_ *battery.Battery, projected float64) {
+		pages := budgetForJoules(projected)
+		if pages < 1 {
+			pages = 1
+		}
+		_ = mgr.SetDirtyBudgetSync(pages)
+	})
 	batt.OnChange(func(b *battery.Battery) {
-		pages := budgetFor(b)
+		pages := budgetForJoules(b.EffectiveJoules())
 		if pages < 1 {
 			pages = 1
 		}
 		_ = mgr.SetDirtyBudget(pages)
 	})
+
+	var mon *health.Monitor
+	if !cfg.DisableHealthMonitor {
+		hcfg := cfg.Health
+		if hcfg.BandwidthDerating == 0 {
+			hcfg.BandwidthDerating = cfg.BandwidthDerating
+		}
+		if hcfg.FlushOverhead == 0 {
+			hcfg.FlushOverhead = fixedFlushOverhead
+		}
+		mon, err = health.NewMonitor(events, clock, batt, mgr, cfg.Power, hcfg)
+		if err != nil {
+			return nil, err
+		}
+	}
 
 	return &System{
 		clock:   clock,
@@ -221,6 +265,7 @@ func New(cfg Config) (*System, error) {
 		batt:    batt,
 		pm:      cfg.Power,
 		manager: mgr,
+		monitor: mon,
 		cfg:     cfg,
 	}, nil
 }
@@ -276,6 +321,27 @@ func (s *System) Events() *sim.Queue { return s.events }
 // more aggressively because recent cleans failed).
 func (s *System) Degraded() bool { return s.manager.Degraded() }
 
+// Health returns the runtime health monitor (nil when
+// Config.DisableHealthMonitor was set).
+func (s *System) Health() *health.Monitor { return s.monitor }
+
+// HealthState returns the manager's rung on the degradation ladder.
+func (s *System) HealthState() HealthState { return s.manager.HealthState() }
+
+// Manager exposes the dirty-budget manager, e.g. for ladder operations
+// (Resume after an SSD replacement) or budget inspection.
+func (s *System) Manager() *core.Manager { return s.manager }
+
+// SetBudgetPolicy adjusts how conservatively the health monitor converts
+// battery joules and SSD bandwidth into the dirty budget; the next
+// monitor tick applies it. It errors when the monitor is disabled.
+func (s *System) SetBudgetPolicy(p BudgetPolicy) error {
+	if s.monitor == nil {
+		return fmt.Errorf("viyojit: health monitor disabled")
+	}
+	return s.monitor.SetPolicy(p)
+}
+
 // FlushAll synchronously cleans every dirty page (clean shutdown).
 func (s *System) FlushAll() { s.manager.FlushAll() }
 
@@ -283,7 +349,10 @@ func (s *System) FlushAll() { s.manager.FlushAll() }
 // energy and the report says whether the provisioned battery covered it.
 // The system is stopped afterwards; use Recover to come back up.
 func (s *System) SimulatePowerFailure() PowerFailReport {
-	return s.manager.PowerFail(s.pm, s.batt.EffectiveJoules())
+	// Sample the battery live: a capacity change landing during the
+	// flush (scheduled ageing, cell dropout) is charged against the
+	// energy actually left at completion, not the pre-flush reading.
+	return s.manager.PowerFailWith(s.pm, s.batt.EffectiveJoules)
 }
 
 // VerifyDurability checks byte-for-byte that the SSD holds the latest
@@ -323,5 +392,11 @@ func (s *System) Recover() (*System, recovery.RestoreReport, error) {
 	}, nil
 }
 
-// Close stops the background epoch task and drains in-flight IO.
-func (s *System) Close() { s.manager.Close() }
+// Close stops the health monitor and the background epoch task and
+// drains in-flight IO.
+func (s *System) Close() {
+	if s.monitor != nil {
+		s.monitor.Close()
+	}
+	s.manager.Close()
+}
