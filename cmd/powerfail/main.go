@@ -8,10 +8,18 @@
 // battery capacity sag mid-run, and a power failure injected at an exact
 // event-queue step instead of at the end.
 //
+// The silent-corruption flags (-lost-prob, -misdirect-prob, -rot-prob)
+// inject faults the device acks as successes; the background scrubber
+// (pace it with -scrub-share, disable it with -no-scrub) and a final
+// on-demand scrub are then what stand between those faults and the
+// durability check.
+//
 // Usage:
 //
 //	powerfail [-size BYTES] [-seed S]
 //	          [-write-error-prob P] [-torn-prob P] [-spike-prob P] [-max-faults N]
+//	          [-lost-prob P] [-misdirect-prob P] [-rot-prob P]
+//	          [-scrub-share F] [-no-scrub]
 //	          [-sag FRACTION] [-crash-step N]
 package main
 
@@ -32,29 +40,46 @@ func main() {
 	tornProb := flag.Float64("torn-prob", 0, "probability an SSD page write tears (half the page lands)")
 	spikeProb := flag.Float64("spike-prob", 0, "probability an SSD write completion is delayed ~1 ms")
 	maxFaults := flag.Uint64("max-faults", 0, "bound on injected transient+torn faults (0 = unbounded)")
+	lostProb := flag.Float64("lost-prob", 0, "probability an SSD page write is silently lost (acked, never stored)")
+	misdirectProb := flag.Float64("misdirect-prob", 0, "probability an SSD page write silently lands on the wrong page")
+	rotProb := flag.Float64("rot-prob", 0, "probability a write completion flips a bit in an at-rest durable page")
+	scrubShare := flag.Float64("scrub-share", 0, "background scrubber's read-bandwidth share (0 = default 5%)")
+	noScrub := flag.Bool("no-scrub", false, "disable the background integrity scrubber")
 	sag := flag.Float64("sag", 0, "battery derating applied mid-run, e.g. 0.7 (0 = no sag)")
 	crashStep := flag.Uint64("crash-step", 0, "pull the plug at this event-queue step (0 = after the workload)")
 	flag.Parse()
 
-	sys, err := viyojit.New(viyojit.Config{NVDRAMSize: *size})
+	sys, err := viyojit.New(viyojit.Config{
+		NVDRAMSize:      *size,
+		Scrub:           viyojit.ScrubConfig{BandwidthShare: *scrubShare},
+		DisableScrubber: *noScrub,
+	})
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("NV-DRAM: %d MiB, dirty budget: %d pages (%.1f%% of the region)\n",
 		*size>>20, sys.DirtyBudget(), float64(sys.DirtyBudget())*4096*100/float64(*size))
 
+	silent := *lostProb > 0 || *misdirectProb > 0 || *rotProb > 0
 	var inj *faultinject.Injector
-	if *writeErrProb > 0 || *tornProb > 0 || *spikeProb > 0 {
+	if *writeErrProb > 0 || *tornProb > 0 || *spikeProb > 0 || silent {
 		inj = faultinject.New(faultinject.Config{
-			Seed:          *seed ^ 0xFA17,
-			TransientProb: *writeErrProb,
-			TornProb:      *tornProb,
-			SpikeProb:     *spikeProb,
-			MaxFaults:     *maxFaults,
+			Seed:            *seed ^ 0xFA17,
+			TransientProb:   *writeErrProb,
+			TornProb:        *tornProb,
+			SpikeProb:       *spikeProb,
+			MaxFaults:       *maxFaults,
+			LostProb:        *lostProb,
+			MisdirectedProb: *misdirectProb,
+			RotProb:         *rotProb,
 		})
 		sys.SSD().SetFaultInjector(inj)
 		fmt.Printf("SSD fault injection armed: transient %.2f, torn %.2f, spike %.2f\n",
 			*writeErrProb, *tornProb, *spikeProb)
+		if silent {
+			fmt.Printf("silent corruption armed: lost %.3f, misdirected %.3f, rot %.3f\n",
+				*lostProb, *misdirectProb, *rotProb)
+		}
 	}
 	if *sag < 0 || *sag > 1 {
 		fatal(fmt.Errorf("-sag %v outside (0,1]; it is a derating fraction", *sag))
@@ -131,11 +156,29 @@ func main() {
 		ist := inj.Stats()
 		fmt.Printf("injected faults: %d transient, %d torn, %d latency spikes over %d writes\n",
 			ist.Transients, ist.Torn, ist.LatencySpikes, ist.WritesSeen)
+		if silent {
+			fmt.Printf("silent faults injected: %d lost, %d misdirected, %d rot\n",
+				ist.Lost, ist.Misdirected, ist.Rot)
+		}
 		fmt.Printf("manager under fire: %d clean errors, %d backoff retries, ladder state %v (degraded %dx)\n",
 			s.CleanErrors, s.CleanRetries, sys.HealthState(), s.DegradedEnters)
 		// The battery backup path is engineered to complete: faults stop
 		// at the wall.
 		inj.Disable()
+	}
+	if silent {
+		// Final on-demand scrub while the system is still alive: repairs
+		// re-dirty through the budget-enforced path, and the power-fail
+		// flush below writes them back durably. Whatever the background
+		// scrubber already caught shows in the same counters.
+		detected := sys.Scrub()
+		rep := sys.IntegrityReport()
+		fmt.Printf("integrity scrub: %d detections this pass (%d total, %d background bursts, MTTD %v); %d repaired, %d repair kicks, %d quarantined\n",
+			detected, rep.Scrub.Detections, rep.Scrub.Bursts, rep.Scrub.MTTD(),
+			rep.Scrub.Repairs, rep.Scrub.RepairKicks, len(rep.Quarantined))
+		for _, q := range rep.Quarantined {
+			fmt.Printf("  quarantined page %d at t=%v: %s\n", q.Page, sim.Duration(q.At), q.Reason)
+		}
 	}
 
 	if !crashed {
@@ -163,7 +206,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("\nrebooted warm: %d pages restored in %v\n", rr.PagesRestored, rr.RestoreTime)
+	fmt.Printf("\nrebooted warm: %d pages restored in %v (%d verified)\n",
+		rr.PagesRestored, rr.RestoreTime, rr.Integrity.PagesVerified)
+	if !rr.Integrity.Clean() {
+		fmt.Printf("restore-time integrity: %d repaired, %d quarantined %v\n",
+			len(rr.Integrity.Repaired), len(rr.Integrity.Quarantined), rr.Integrity.Quarantined)
+	}
 	m2, err := recovered.Map("demo-heap", heapSize)
 	if err != nil {
 		fatal(err)

@@ -133,6 +133,8 @@ type Stats struct {
 	CleanRetries     uint64 // failed cleans resubmitted after backoff
 	DegradedEnters   uint64 // transitions into SSD-degraded mode
 	DegradedEpochs   uint64 // epoch ticks run while degraded
+	RepairRedirties  uint64 // clean pages re-dirtied to repair SSD corruption
+	RepairCleans     uint64 // cleans kicked early on already-dirty corrupt pages
 	EmergencyEnters  uint64 // transitions into EmergencyFlush
 	EmergencyCleans  uint64 // cleans submitted by emergency drains
 	ReadOnlyEnters   uint64 // transitions into ReadOnly

@@ -1,0 +1,109 @@
+package core
+
+// Scrub repair support. When the scrubber (internal/scrub) finds a
+// durable page whose SSD copy fails checksum verification but whose
+// NV-DRAM copy is authoritative (the page is clean: DRAM == what the SSD
+// *should* hold), the fix is a forced re-clean — re-dirty the page and
+// push it back through the normal clean path so the standard completion
+// handling, retry/backoff, and durability bookkeeping all apply. The
+// re-dirty is budget-enforced exactly like a write fault: admitting the
+// page may force other cleans first, so `dirty ≤ budget` holds at every
+// step even while repairing.
+
+import (
+	"errors"
+	"fmt"
+
+	"viyojit/internal/mmu"
+)
+
+var (
+	// ErrRepairClosed means the manager was closed; the caller should
+	// quarantine instead.
+	ErrRepairClosed = errors.New("core: cannot repair through a closed manager")
+	// ErrRepairBlocked means the ladder has writes blocked
+	// (EmergencyFlush/ReadOnly); repair must wait or quarantine.
+	ErrRepairBlocked = errors.New("core: writes blocked; cannot re-dirty for repair")
+	// ErrRepairNoSource means the page is outside the managed region, so
+	// there is no authoritative DRAM copy to repair from.
+	ErrRepairNoSource = errors.New("core: page outside the region; no authoritative copy")
+)
+
+// RepairPage re-persists page from its authoritative NV-DRAM copy. A
+// page already dirty just has its clean kicked (its corruption window
+// closes when the in-flight or next clean lands); a clean page is
+// re-dirtied through budget-enforced admission — forcing other cleans
+// first if the set is at budget — and submitted immediately. The repair
+// write goes through startClean, so injected faults, retries, and stats
+// behave exactly as for any other clean.
+func (m *Manager) RepairPage(page mmu.PageID) error {
+	if m.closed {
+		return ErrRepairClosed
+	}
+	if m.writesBlocked() {
+		return ErrRepairBlocked
+	}
+	if int(page) >= m.region.NumPages() {
+		return fmt.Errorf("%w: page %d, region has %d pages", ErrRepairNoSource, page, m.region.NumPages())
+	}
+	if dp, ok := m.dirty[page]; ok {
+		// The latest contents are already queued to become durable; an
+		// in-flight or fresh clean overwrites the corrupt image.
+		if !dp.cleaning {
+			m.stats.RepairCleans++
+			m.startClean(page)
+		}
+		return nil
+	}
+
+	// Budget-enforced admission, mirroring the fault path: the repair
+	// must never push the dirty set past what the battery covers.
+	for len(m.dirty) >= m.effectiveBudget() {
+		m.stats.ForcedCleans++
+		if !m.cleanOneSync() {
+			panic(fmt.Sprintf("core: dirty set %d at budget %d with no cleanable victim", len(m.dirty), m.effectiveBudget()))
+		}
+	}
+	// cleanOneSync pumps events; the world may have changed under us.
+	if m.closed {
+		return ErrRepairClosed
+	}
+	if m.writesBlocked() {
+		return ErrRepairBlocked
+	}
+
+	m.dirtySeq++
+	m.dirty[page] = &dirtyPage{seq: m.dirtySeq}
+	m.ageHistory(page)
+	m.stats.RepairRedirties++
+	if len(m.dirty) > m.stats.MaxDirtyObserved {
+		m.stats.MaxDirtyObserved = len(m.dirty)
+	}
+	m.checkInvariant()
+	m.startClean(page)
+	return nil
+}
+
+// IsDirty reports whether page is in the dirty set (its latest contents
+// not yet durable). The scrubber uses it to pick the repair source: a
+// dirty page's SSD copy is expected to be stale, so a checksum mismatch
+// there is not yet corruption of record.
+func (m *Manager) IsDirty(page mmu.PageID) bool {
+	_, ok := m.dirty[page]
+	return ok
+}
+
+// Closed reports whether the manager has been detached (Close called).
+func (m *Manager) Closed() bool { return m.closed }
+
+// EnterDegraded escalates to the Degraded rung on an external signal —
+// the health monitor's response to scrub detections. The manager's own
+// error-streak entry and streak/quiet heal paths apply unchanged;
+// escalation above Degraded remains the policy's explicit call.
+func (m *Manager) EnterDegraded() {
+	if m.state == StateHealthy {
+		m.state = StateDegraded
+		m.healthyStreak = 0
+		m.stats.DegradedEnters++
+	}
+}

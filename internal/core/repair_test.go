@@ -1,0 +1,116 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"viyojit/internal/mmu"
+)
+
+func TestRepairPageRedirtiesAndRecleans(t *testing.T) {
+	h := newHarness(t, 8, Config{DirtyBudgetPages: 4})
+	h.writePage(t, 2, 0xAB)
+	h.mgr.FlushAll()
+	if h.mgr.DirtyCount() != 0 {
+		t.Fatalf("dirty count %d before repair", h.mgr.DirtyCount())
+	}
+	if err := h.mgr.RepairPage(2); err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	if !h.mgr.IsDirty(2) {
+		t.Fatal("repaired page not re-dirtied")
+	}
+	if h.mgr.Stats().RepairRedirties != 1 {
+		t.Fatalf("RepairRedirties = %d, want 1", h.mgr.Stats().RepairRedirties)
+	}
+	h.mgr.FlushAll()
+	durable, ok := h.dev.Durable(2)
+	if !ok || !bytes.Equal(durable, h.region.RawPage(2)) {
+		t.Fatal("repair re-clean did not refresh the durable copy")
+	}
+	if err := h.mgr.VerifyDurability(); err != nil {
+		t.Fatalf("durability after repair: %v", err)
+	}
+}
+
+// TestRepairPageDirtyKicksClean: repairing an already-dirty page must
+// not double-admit it — it kicks an immediate clean instead.
+func TestRepairPageDirtyKicksClean(t *testing.T) {
+	h := newHarness(t, 8, Config{DirtyBudgetPages: 4})
+	h.writePage(t, 1, 0x11)
+	before := h.mgr.DirtyCount()
+	if err := h.mgr.RepairPage(1); err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	if h.mgr.DirtyCount() != before {
+		t.Fatalf("repair of a dirty page changed dirty count %d -> %d", before, h.mgr.DirtyCount())
+	}
+	if h.mgr.Stats().RepairCleans != 1 {
+		t.Fatalf("RepairCleans = %d, want 1", h.mgr.Stats().RepairCleans)
+	}
+	h.mgr.FlushAll()
+}
+
+// TestRepairPageBudgetFull: a repair into a budget-full dirty set forces
+// room first; the invariant (checked on every transition, panics on
+// violation) must hold throughout.
+func TestRepairPageBudgetFull(t *testing.T) {
+	h := newHarness(t, 16, Config{DirtyBudgetPages: 2})
+	for p := 0; p < 6; p++ {
+		h.writePage(t, p, byte(p+1))
+	}
+	h.mgr.FlushAll()
+	h.writePage(t, 6, 0x66)
+	h.writePage(t, 7, 0x77)
+	if h.mgr.DirtyCount() != 2 {
+		t.Fatalf("dirty count %d, want budget-full 2", h.mgr.DirtyCount())
+	}
+	forced := h.mgr.Stats().ForcedCleans
+	if err := h.mgr.RepairPage(0); err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	if h.mgr.DirtyCount() > 2 {
+		t.Fatalf("dirty count %d exceeds budget after repair", h.mgr.DirtyCount())
+	}
+	if h.mgr.Stats().ForcedCleans == forced {
+		t.Fatal("repair admitted into a full budget without forcing a clean")
+	}
+	h.mgr.FlushAll()
+}
+
+func TestRepairPageErrors(t *testing.T) {
+	h := newHarness(t, 8, Config{DirtyBudgetPages: 4})
+	h.writePage(t, 0, 0x01)
+	h.mgr.FlushAll()
+	if err := h.mgr.RepairPage(mmu.PageID(h.region.NumPages())); !errors.Is(err, ErrRepairNoSource) {
+		t.Fatalf("out-of-region repair: err = %v, want ErrRepairNoSource", err)
+	}
+	h.mgr.EnterReadOnly()
+	if err := h.mgr.RepairPage(0); !errors.Is(err, ErrRepairBlocked) {
+		t.Fatalf("blocked repair: err = %v, want ErrRepairBlocked", err)
+	}
+	h.mgr.Close()
+	if err := h.mgr.RepairPage(0); !errors.Is(err, ErrRepairClosed) {
+		t.Fatalf("closed repair: err = %v, want ErrRepairClosed", err)
+	}
+}
+
+func TestEnterDegraded(t *testing.T) {
+	h := newHarness(t, 8, Config{DirtyBudgetPages: 4})
+	if h.mgr.HealthState() != StateHealthy {
+		t.Fatalf("initial state %v", h.mgr.HealthState())
+	}
+	h.mgr.EnterDegraded()
+	if h.mgr.HealthState() != StateDegraded {
+		t.Fatalf("state %v after EnterDegraded", h.mgr.HealthState())
+	}
+	if h.mgr.Stats().DegradedEnters == 0 {
+		t.Fatal("DegradedEnters not counted")
+	}
+	// Idempotent from Degraded or above.
+	h.mgr.EnterDegraded()
+	if h.mgr.HealthState() != StateDegraded {
+		t.Fatal("second EnterDegraded changed state")
+	}
+}

@@ -15,12 +15,22 @@
 //  6. a ptx transactional heap reopens to an all-or-nothing state: a
 //     transaction in flight at the crash is fully rolled back.
 //
+// Corruption mode (Config.Corruption) additionally injects silent
+// faults — lost writes, misdirected writes, at-rest bit rot — and runs
+// the background scrubber during the workload. Byte-equality between
+// NV-DRAM and the SSD no longer holds by construction, so invariants 3
+// and 4 are replaced by the detection guarantee: every diverging page
+// must be caught by checksum verification (repaired by the scrubber or
+// quarantined at restore), and no corrupt byte is ever restored or
+// reported durable without detection — zero silent escapes.
+//
 // Every run is rebuilt from the same seed, so a failing crash point is
 // identified by (Seed, Step) alone and replays exactly: the correctness
 // regression tool later scaling and performance PRs run against.
 package crashsweep
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 
@@ -28,10 +38,12 @@ import (
 	"viyojit/internal/core"
 	"viyojit/internal/dist"
 	"viyojit/internal/faultinject"
+	"viyojit/internal/mmu"
 	"viyojit/internal/nvdram"
 	"viyojit/internal/power"
 	"viyojit/internal/ptx"
 	"viyojit/internal/recovery"
+	"viyojit/internal/scrub"
 	"viyojit/internal/sim"
 	"viyojit/internal/ssd"
 	"viyojit/internal/wal"
@@ -92,6 +104,19 @@ type Config struct {
 	// SagAt is the virtual time of the sag step; 0 (with SagFraction
 	// set) selects 1.5 ms, roughly mid-run for the default workload.
 	SagAt sim.Duration
+	// Corruption enables the silent-corruption sweep mode: lost,
+	// misdirected, and at-rest-rot faults are injected during the
+	// workload (defaults below unless the Faults config sets its own
+	// silent probabilities), a background scrubber repairs what it
+	// catches, and the post-crash protocol changes from strict
+	// byte-equality to zero *undetected* escapes — every page whose
+	// durable or restored bytes diverge from NV-DRAM truth must have
+	// been detected (repaired or quarantined), never silently restored.
+	Corruption bool
+	// ScrubShare is the background scrubber's read-bandwidth share in
+	// corruption mode; 0 selects 0.2 (aggressive, so the short sweep
+	// runs exercise the repair path, not just restore-time detection).
+	ScrubShare float64
 }
 
 func (c Config) withDefaults() Config {
@@ -115,6 +140,17 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SagFraction > 0 && c.SagAt == 0 {
 		c.SagAt = 1500 * sim.Microsecond
+	}
+	if c.Corruption {
+		if c.ScrubShare == 0 {
+			c.ScrubShare = 0.2
+		}
+		c.InjectFaults = true
+		if c.Faults.LostProb == 0 && c.Faults.MisdirectedProb == 0 && c.Faults.RotProb == 0 {
+			c.Faults.LostProb = 0.02
+			c.Faults.MisdirectedProb = 0.01
+			c.Faults.RotProb = 0.05
+		}
 	}
 	return c
 }
@@ -168,6 +204,29 @@ type Result struct {
 	MidDrainCrashes int
 	// SaggedCrashes counts crashes after the battery step-down applied.
 	SaggedCrashes int
+
+	// Corruption-mode evidence counters (zero outside corruption mode).
+
+	// CorruptionsInjected totals lost + misdirected + rot faults injected
+	// across all crash runs — the sweep is vacuous if this stays zero.
+	CorruptionsInjected uint64
+	// ScrubDetections counts corruptions the background scrubber caught
+	// before the crash; ScrubRepairs counts its successful repairs
+	// (re-dirties plus kicked pending cleans).
+	ScrubDetections uint64
+	ScrubRepairs    uint64
+	// RestoreQuarantines counts corrupt pages detected at restore time
+	// and quarantined rather than handed back as good data.
+	RestoreQuarantines int
+	// ReportedLosses counts crashes where a WAL or ptx consistency check
+	// was relaxed because a quarantined page overlapped its mapping —
+	// honestly reported data loss, as opposed to a silent escape.
+	ReportedLosses int
+	// SilentEscapes counts divergences that slipped past every detector:
+	// corrupt bytes restored or reported durable without any checksum
+	// failure or quarantine. Each one is also a Violation; the acceptance
+	// bar is zero.
+	SilentEscapes int
 }
 
 // runState is one freshly built system plus the workload's shadow model.
@@ -179,6 +238,7 @@ type runState struct {
 	dev    *ssd.SSD
 	mgr    *core.Manager
 	inj    *faultinject.Injector
+	scrub  *scrub.Scrubber // corruption mode only
 
 	// Sag mode (Config.SagFraction > 0): the provisioned battery, the
 	// scheduled step-down event, and the joules→pages inverse of
@@ -241,6 +301,12 @@ func build(cfg Config) (*runState, error) {
 	}
 	if st.ptxHeap, err = ptx.Create(st.ptxM, ptxLogBytes); err != nil {
 		return nil, err
+	}
+	if cfg.Corruption {
+		st.scrub = scrub.New(st.clock, st.events, st.dev, st.mgr, scrub.Config{
+			BandwidthShare: cfg.ScrubShare,
+		})
+		st.scrub.Start()
 	}
 	if cfg.SagFraction > 0 {
 		pm := power.Default()
@@ -422,6 +488,16 @@ func verifyCrash(st *runState, step uint64, res *Result) []Violation {
 	// the flush is charged against the energy present at the crash.
 	if st.inj != nil {
 		st.inj.Disable()
+		if cfg.Corruption {
+			ist := st.inj.Stats()
+			res.CorruptionsInjected += ist.Lost + ist.Misdirected + ist.Rot
+		}
+	}
+	if st.scrub != nil {
+		st.scrub.Stop()
+		sst := st.scrub.Stats()
+		res.ScrubDetections += sst.Detections
+		res.ScrubRepairs += sst.Repairs + sst.RepairKicks
 	}
 	pm := power.Default()
 	joules := flushEnergy(cfg, st.dev, pm, st.region.Size())
@@ -435,31 +511,107 @@ func verifyCrash(st *runState, step uint64, res *Result) []Violation {
 			report.DirtyAtFailure, report.EnergyUsedJoules, report.EnergyAvailableJoules)
 	}
 
-	// (3) Post-flush SSD byte-equals NV-DRAM.
-	if err := st.mgr.VerifyDurability(); err != nil {
+	// (3) Post-flush SSD byte-equals NV-DRAM. In corruption mode the
+	// equality cannot hold — silent faults corrupted durable copies on
+	// purpose — so the invariant becomes zero *undetected* escapes: every
+	// durable page diverging from NV-DRAM truth must fail checksum
+	// verification, and a page NV-DRAM has data for but the SSD has no
+	// claim about must at least carry a mismatching acked checksum (a
+	// fully lost first write).
+	if cfg.Corruption {
+		for p := 0; p < st.region.NumPages(); p++ {
+			page := mmu.PageID(p)
+			live := st.region.RawPage(page)
+			durable, ok := st.dev.Durable(page)
+			detected := st.dev.VerifyPage(page) != nil
+			if ok {
+				if !bytes.Equal(live, durable) && !detected {
+					res.SilentEscapes++
+					fail("page %d: durable copy diverges from NV-DRAM and passes verification (silent escape)", page)
+				}
+				continue
+			}
+			if detected {
+				continue
+			}
+			for _, b := range live {
+				if b != 0 {
+					res.SilentEscapes++
+					fail("page %d: NV-DRAM has data, SSD has no copy, nothing detected (silent escape)", page)
+					break
+				}
+			}
+		}
+	} else if err := st.mgr.VerifyDurability(); err != nil {
 		fail("durability: %v", err)
 	}
 
-	// (4) A rebooted region restored from the SSD matches it.
+	// (4) A rebooted region restored from the SSD matches it. The restore
+	// path is always checksum-verified; in corruption mode corrupt pages
+	// must land in quarantine (reported loss) and every page that was
+	// restored must byte-match NV-DRAM truth at the crash — corrupt bytes
+	// handed back as good data are the silent escape this sweep exists to
+	// rule out.
 	rclock := sim.NewClock()
-	restored, _, err := recovery.RestoreRegion(rclock, st.dev, nvdram.Config{Size: st.region.Size()})
+	restored, rrep, err := recovery.RestoreRegion(rclock, st.dev, nvdram.Config{Size: st.region.Size()})
 	if err != nil {
 		fail("restore: %v", err)
 		return out
 	}
-	if err := recovery.VerifyRestored(restored, st.dev); err != nil {
+	quarantined := make(map[mmu.PageID]bool, len(rrep.Integrity.Quarantined))
+	if cfg.Corruption {
+		res.RestoreQuarantines += len(rrep.Integrity.Quarantined)
+		for _, p := range rrep.Integrity.Quarantined {
+			quarantined[p] = true
+		}
+		if err := recovery.VerifyRestoredWith(restored, st.dev, rrep.Integrity); err != nil {
+			fail("restored region: %v", err)
+		}
+		for p := 0; p < st.region.NumPages(); p++ {
+			page := mmu.PageID(p)
+			if quarantined[page] {
+				continue
+			}
+			if !bytes.Equal(st.region.RawPage(page), restored.RawPage(page)) {
+				res.SilentEscapes++
+				fail("page %d: restored bytes diverge from NV-DRAM truth without detection (silent escape)", page)
+			}
+		}
+	} else if err := recovery.VerifyRestored(restored, st.dev); err != nil {
 		fail("restored region: %v", err)
+	}
+
+	// Quarantined pages overlapping the WAL or ptx mappings are honestly
+	// reported loss: the affected completeness checks below are relaxed,
+	// but mis-replay (divergent or fabricated records, torn transactions)
+	// is never allowed.
+	overlapsQuarantine := func(m *core.Mapping) bool {
+		lo := mmu.PageID(m.Base() / pageSize)
+		hi := mmu.PageID((m.Base() + m.Size() - 1) / pageSize)
+		for p := lo; p <= hi; p++ {
+			if quarantined[p] {
+				return true
+			}
+		}
+		return false
+	}
+	walLost := overlapsQuarantine(st.walM)
+	ptxLost := overlapsQuarantine(st.ptxM)
+	if walLost || ptxLost {
+		res.ReportedLosses++
 	}
 
 	// (5) WAL replays to a consistent prefix.
 	payloads, torn, err := recovery.RestoredWAL(restored, st.walM.Base(), st.walM.Size())
 	if err != nil {
-		fail("wal open/replay: %v", err)
+		if !walLost {
+			fail("wal open/replay: %v", err)
+		}
 	} else {
 		if torn {
 			res.TornTails++
 		}
-		if len(payloads) < st.walCommitted {
+		if len(payloads) < st.walCommitted && !walLost {
 			fail("wal lost committed records: replayed %d < committed %d", len(payloads), st.walCommitted)
 		}
 		if len(payloads) > len(st.walAttempted) {
@@ -476,7 +628,12 @@ func verifyCrash(st *runState, step uint64, res *Result) []Violation {
 		}
 	}
 
-	// (6) The ptx heap reopens all-or-nothing.
+	// (6) The ptx heap reopens all-or-nothing. With a quarantined page
+	// inside the ptx mapping the heap is reported lost — its zeroed pages
+	// carry no trustworthy state to check against the shadow model.
+	if ptxLost {
+		return out
+	}
 	win := regionWindow{region: restored, base: st.ptxM.Base(), size: st.ptxM.Size()}
 	before, _ := undoRecords(win)
 	h, err := ptx.Open(win, ptxLogBytes)

@@ -118,6 +118,68 @@ func TestSweepBatterySag(t *testing.T) {
 	}
 }
 
+// TestSweepCorruption is the silent-corruption acceptance sweep: ≥200
+// seeded crash points with lost/misdirected/rot faults injected and the
+// background scrubber in the loop. The bar is zero silent escapes — no
+// corrupt page is ever restored or reported durable without detection —
+// and the sweep must actually inject corruption and exercise the
+// detection machinery, or the guarantee is vacuous.
+func TestSweepCorruption(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corruption crash-point sweep in -short mode")
+	}
+	cfg := Config{Seed: 0xC0_44_0B7, MaxCrashPoints: 200, Corruption: true}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("corruption sweep: %v", err)
+	}
+	t.Logf("baseline events %d, stride %d, crash points %d (+%d ran past end), corruptions %d, scrub detections %d, scrub repairs %d, restore quarantines %d, reported losses %d, silent escapes %d",
+		res.BaselineEvents, res.Stride, res.CrashPoints, res.Completed,
+		res.CorruptionsInjected, res.ScrubDetections, res.ScrubRepairs,
+		res.RestoreQuarantines, res.ReportedLosses, res.SilentEscapes)
+	if res.CrashPoints+res.Completed < 200 {
+		t.Fatalf("swept %d points, want ≥ 200", res.CrashPoints+res.Completed)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if res.SilentEscapes != 0 {
+		t.Errorf("%d silent escapes; the detection guarantee is broken", res.SilentEscapes)
+	}
+	if res.CorruptionsInjected == 0 {
+		t.Error("no corruption ever injected; sweep is vacuous")
+	}
+	if res.ScrubDetections+uint64(res.RestoreQuarantines) == 0 {
+		t.Error("injected corruption but nothing was ever detected — detectors never ran")
+	}
+	budget := cfg.withDefaults().BudgetPages
+	if res.MaxDirtyAtCrash > budget {
+		t.Errorf("max dirty at crash %d exceeds budget %d (scrub repairs must stay inside the budget)", res.MaxDirtyAtCrash, budget)
+	}
+}
+
+// TestSweepCorruptionDeterministic: corruption mode must replay exactly
+// from the seed too — injected faults, scrub schedule, and verdicts all
+// included.
+func TestSweepCorruptionDeterministic(t *testing.T) {
+	cfg := Config{Seed: 99, Ops: 200, MaxCrashPoints: 10, Corruption: true}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if a.BaselineEvents != b.BaselineEvents || a.CrashPoints != b.CrashPoints ||
+		a.CorruptionsInjected != b.CorruptionsInjected ||
+		a.ScrubDetections != b.ScrubDetections || a.ScrubRepairs != b.ScrubRepairs ||
+		a.RestoreQuarantines != b.RestoreQuarantines ||
+		a.SilentEscapes != b.SilentEscapes || len(a.Violations) != len(b.Violations) {
+		t.Fatalf("corruption sweep not deterministic:\n  first  %+v\n  second %+v", a, b)
+	}
+}
+
 // TestSweepSeedMatrix is the CI matrix entry point: setting
 // CRASHSWEEP_SEED runs a moderate sweep — plain and sagging — under that
 // seed, so each matrix job covers a different crash-point lattice.
@@ -136,6 +198,7 @@ func TestSweepSeedMatrix(t *testing.T) {
 	}{
 		{"plain", Config{Seed: seed, MaxCrashPoints: 60}},
 		{"sag", Config{Seed: seed, MaxCrashPoints: 60, SagFraction: 0.5, SSD: ssd.Config{WriteBandwidth: 16 << 20}}},
+		{"corruption", Config{Seed: seed, MaxCrashPoints: 60, Corruption: true}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			res, err := Run(tc.cfg)

@@ -51,6 +51,24 @@ type Config struct {
 	// + torn); 0 means unbounded. A bound guarantees retry loops
 	// converge even at TransientProb 1.0.
 	MaxFaults uint64
+
+	// The silent-corruption classes below never surface an error to the
+	// host, so they are exempt from MaxFaults (there is no retry loop to
+	// starve) and are drawn from a second, independent RNG stream so
+	// enabling them leaves existing transient/torn/spike schedules for a
+	// given seed bit-identical.
+
+	// LostProb is the probability a write is acked as durable but never
+	// persisted (ssd.FaultLost).
+	LostProb float64
+	// MisdirectedProb is the probability a write is acked for its page
+	// but lands on a different durable page (ssd.FaultMisdirected).
+	MisdirectedProb float64
+	// RotProb is the probability a write's completion is accompanied by
+	// an at-rest bit flip on some durable page — silent bit rot, clocked
+	// to write activity so rot density scales with runtime. It composes
+	// with any other fault on the same write.
+	RotProb float64
 }
 
 func (c Config) withDefaults() Config {
@@ -66,6 +84,9 @@ type Stats struct {
 	Transients    uint64
 	Torn          uint64
 	LatencySpikes uint64
+	Lost          uint64
+	Misdirected   uint64
+	Rot           uint64
 }
 
 // Injector implements ssd.FaultInjector deterministically: scripted
@@ -74,8 +95,9 @@ type Stats struct {
 // concurrent use (the simulation is single-goroutine).
 type Injector struct {
 	cfg      Config
-	rng      *sim.RNG
-	next     uint64 // index of the next write to be submitted
+	rng      *sim.RNG // transient/torn/spike stream (3 draws per write)
+	silent   *sim.RNG // lost/misdirected/rot stream (5 draws per write)
+	next     uint64   // index of the next write to be submitted
 	scripted map[uint64]ssd.FaultDecision
 	enabled  bool
 	stats    Stats
@@ -87,6 +109,7 @@ func New(cfg Config) *Injector {
 	return &Injector{
 		cfg:      cfg,
 		rng:      sim.NewRNG(cfg.Seed),
+		silent:   sim.NewRNG(cfg.Seed ^ 0x51C4_11E7_C0DE_D00D),
 		scripted: make(map[uint64]ssd.FaultDecision),
 		enabled:  true,
 	}
@@ -122,6 +145,26 @@ func (i *Injector) WriteFault(_ mmu.PageID, _ []byte) ssd.FaultDecision {
 	if pSpike < i.cfg.SpikeProb {
 		d.ExtraLatency = i.cfg.SpikeLatency
 	}
+	// Silent classes on their own stream, same fixed-draw discipline:
+	// every write consumes 5 draws whatever it decides, so tuning one
+	// probability never reshuffles the others' schedules.
+	pLost := i.silent.Float64()
+	pMisdirect := i.silent.Float64()
+	pRot := i.silent.Float64()
+	misdirectSeed := i.silent.Uint64()
+	rotSeed := i.silent.Uint64()
+	if d.Fault == ssd.FaultNone {
+		if pLost < i.cfg.LostProb {
+			d.Fault = ssd.FaultLost
+		} else if pMisdirect < i.cfg.MisdirectedProb {
+			d.Fault = ssd.FaultMisdirected
+			d.MisdirectSeed = misdirectSeed
+		}
+	}
+	if pRot < i.cfg.RotProb {
+		d.Rot = true
+		d.RotSeed = rotSeed
+	}
 	i.record(d)
 	return d
 }
@@ -136,9 +179,16 @@ func (i *Injector) record(d ssd.FaultDecision) {
 		i.stats.Transients++
 	case ssd.FaultTorn:
 		i.stats.Torn++
+	case ssd.FaultLost:
+		i.stats.Lost++
+	case ssd.FaultMisdirected:
+		i.stats.Misdirected++
 	}
 	if d.ExtraLatency > 0 {
 		i.stats.LatencySpikes++
+	}
+	if d.Rot {
+		i.stats.Rot++
 	}
 }
 

@@ -60,6 +60,17 @@ type Config struct {
 	RecoverTicks int
 	// MaxSnapshots bounds the observability ring; 0 selects 1024.
 	MaxSnapshots int
+	// ScrubDegradeDetections is the number of fresh scrub corruption
+	// detections between samples that enters Degraded (extra cleaning
+	// headroom while the device proves itself); 0 selects 1 — any
+	// detection costs the device its clean bill of health.
+	ScrubDegradeDetections int
+	// ScrubQuarantineEmergency is the quarantined-page count (corrupt
+	// with no good copy to repair from) that escalates to
+	// EmergencyFlush: a device accumulating unrepairable corruption is
+	// lying about acked writes, and shrinking exposure to zero is the
+	// only safe posture. 0 selects 8.
+	ScrubQuarantineEmergency int
 }
 
 func (c Config) withDefaults() Config {
@@ -83,6 +94,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSnapshots == 0 {
 		c.MaxSnapshots = 1024
+	}
+	if c.ScrubDegradeDetections == 0 {
+		c.ScrubDegradeDetections = 1
+	}
+	if c.ScrubQuarantineEmergency == 0 {
+		c.ScrubQuarantineEmergency = 8
 	}
 	return c
 }
@@ -145,16 +162,30 @@ type Snapshot struct {
 	Draining bool
 	// ErrorStreak is the manager's consecutive clean failures.
 	ErrorStreak int
+	// ScrubDetections is the scrubber's cumulative corruption
+	// detections at the sample (0 with no scrubber attached).
+	ScrubDetections uint64
+	// ScrubQuarantined is the scrubber's current quarantine size.
+	ScrubQuarantined int
 }
 
 // Stats counts monitor activity.
 type Stats struct {
-	Ticks           uint64
-	Retunes         uint64 // budget values pushed to the manager
-	EmergencyEnters uint64
-	DrainFailures   uint64
-	ReadOnlyFalls   uint64
-	Recoveries      uint64
+	Ticks            uint64
+	Retunes          uint64 // budget values pushed to the manager
+	EmergencyEnters  uint64
+	DrainFailures    uint64
+	ReadOnlyFalls    uint64
+	Recoveries       uint64
+	ScrubDegrades    uint64 // Degraded entries driven by fresh scrub detections
+	ScrubEmergencies uint64 // EmergencyFlush escalations driven by quarantine growth
+}
+
+// ScrubStatus is the scrubber-side signal surface the monitor samples —
+// implemented by *scrub.Scrubber. Detections are cumulative; the
+// quarantine size is current.
+type ScrubStatus interface {
+	ScrubErrors() (detections uint64, quarantined int)
 }
 
 // Monitor periodically re-derives the dirty budget and operates the
@@ -174,6 +205,22 @@ type Monitor struct {
 	event         *sim.Event
 	closed        bool
 	stats         Stats
+
+	scrub           ScrubStatus // nil = no scrub signal
+	lastDetections  uint64      // detections seen at the previous sample
+	lastQuarantined int         // quarantine size at the previous sample
+}
+
+// AttachScrub wires a scrubber's error signal into the monitor's ladder
+// decisions: fresh detections between samples enter Degraded, and a
+// quarantine past ScrubQuarantineEmergency escalates to EmergencyFlush.
+// Passing nil detaches.
+func (m *Monitor) AttachScrub(s ScrubStatus) {
+	m.scrub = s
+	m.lastDetections = 0
+	if s != nil {
+		m.lastDetections, _ = s.ScrubErrors()
+	}
 }
 
 // NewMonitor wires a monitor over an already-running manager and battery
@@ -286,6 +333,20 @@ func (m *Monitor) tick(at sim.Time) {
 	budget := BudgetPages(m.pm, joules, bw, region.Size(), region.PageSize(), m.cfg.FlushOverhead)
 	m.lastBudget = budget
 
+	// Sample the scrub signal every tick so the fresh-detection delta
+	// stays aligned with the sampling period whatever rung we're on.
+	var scrubDetections uint64
+	var freshDetections uint64
+	var quarantined int
+	quarantineGrew := false
+	if m.scrub != nil {
+		scrubDetections, quarantined = m.scrub.ScrubErrors()
+		freshDetections = scrubDetections - m.lastDetections
+		m.lastDetections = scrubDetections
+		quarantineGrew = quarantined > m.lastQuarantined
+		m.lastQuarantined = quarantined
+	}
+
 	switch m.mgr.HealthState() {
 	case core.StateReadOnly:
 		// Terminal without operator intervention (SSD replacement would
@@ -331,7 +392,12 @@ func (m *Monitor) tick(at sim.Time) {
 		}
 
 	default: // Healthy, Degraded
-		if m.mgr.ErrorStreak() >= m.cfg.EmergencyErrorStreak || (budget < 1 && m.mgr.DirtyCount() > 0) {
+		scrubEmergency := quarantined >= m.cfg.ScrubQuarantineEmergency && quarantineGrew
+		if m.mgr.ErrorStreak() >= m.cfg.EmergencyErrorStreak || (budget < 1 && m.mgr.DirtyCount() > 0) ||
+			scrubEmergency {
+			if scrubEmergency {
+				m.stats.ScrubEmergencies++
+			}
 			m.drainFails = 0
 			m.recoverStreak = 0
 			m.stats.EmergencyEnters++
@@ -340,6 +406,14 @@ func (m *Monitor) tick(at sim.Time) {
 				m.drainFails++
 			}
 			break
+		}
+		if freshDetections >= uint64(m.cfg.ScrubDegradeDetections) && m.mgr.HealthState() == core.StateHealthy {
+			// The scrubber caught the device silently corrupting data:
+			// take the Degraded rung's extra cleaning headroom while the
+			// usual success-streak/quiet-period hysteresis decides when
+			// it is trusted again.
+			m.mgr.EnterDegraded()
+			m.stats.ScrubDegrades++
 		}
 		if budget >= 1 {
 			m.retune(budget)
@@ -357,6 +431,8 @@ func (m *Monitor) tick(at sim.Time) {
 		Dirty:             m.mgr.DirtyCount(),
 		Draining:          m.mgr.Draining(),
 		ErrorStreak:       m.mgr.ErrorStreak(),
+		ScrubDetections:   scrubDetections,
+		ScrubQuarantined:  quarantined,
 	})
 }
 

@@ -257,3 +257,64 @@ func TestBudgetPagesEdges(t *testing.T) {
 		t.Fatalf("budget with a huge battery = %d, want capped at 256 region pages", got)
 	}
 }
+
+// fakeScrub is a scriptable ScrubStatus.
+type fakeScrub struct {
+	det uint64
+	q   int
+}
+
+func (f *fakeScrub) ScrubErrors() (uint64, int) { return f.det, f.q }
+
+// TestMonitorScrubDetectionsEnterDegraded: fresh scrub detections
+// between samples cost the device its clean bill of health; detections
+// already seen at attach time do not.
+func TestMonitorScrubDetectionsEnterDegraded(t *testing.T) {
+	r := newRig(t, rigOpts{pages: 16, budget: 4, targetPages: 4.5})
+	fs := &fakeScrub{det: 7} // history predating the attach
+	r.mon.AttachScrub(fs)
+	r.run(5 * sim.Millisecond)
+	if r.mgr.HealthState() != core.StateHealthy {
+		t.Fatalf("stale detections degraded the ladder: %v", r.mgr.HealthState())
+	}
+	fs.det += 2
+	r.run(3 * sim.Millisecond)
+	if r.mgr.HealthState() != core.StateDegraded {
+		t.Fatalf("fresh detections did not enter Degraded: %v", r.mgr.HealthState())
+	}
+	if r.mon.Stats().ScrubDegrades != 1 {
+		t.Fatalf("ScrubDegrades = %d, want 1", r.mon.Stats().ScrubDegrades)
+	}
+	snaps := r.mon.Snapshots()
+	last := snaps[len(snaps)-1]
+	if last.ScrubDetections != fs.det || last.ScrubQuarantined != 0 {
+		t.Fatalf("snapshot scrub fields %d/%d, want %d/0",
+			last.ScrubDetections, last.ScrubQuarantined, fs.det)
+	}
+	// No further detections: the monitor must not re-degrade forever.
+	r.run(5 * sim.Millisecond)
+	if r.mon.Stats().ScrubDegrades != 1 {
+		t.Fatalf("ScrubDegrades grew to %d on a quiet scrubber", r.mon.Stats().ScrubDegrades)
+	}
+}
+
+// TestMonitorScrubQuarantineEscalates: a quarantine reaching the
+// threshold *while still growing* escalates to EmergencyFlush; a large
+// but static quarantine does not keep re-escalating.
+func TestMonitorScrubQuarantineEscalates(t *testing.T) {
+	r := newRig(t, rigOpts{
+		pages: 16, budget: 4, targetPages: 4.5,
+		health: Config{ScrubQuarantineEmergency: 3},
+	})
+	fs := &fakeScrub{}
+	r.mon.AttachScrub(fs)
+	r.run(5 * sim.Millisecond)
+	fs.det, fs.q = 3, 3 // unrepairable corruption accumulating
+	r.run(3 * sim.Millisecond)
+	if got := r.mgr.HealthState(); got != core.StateEmergencyFlush {
+		t.Fatalf("growing quarantine at threshold left state %v, want EmergencyFlush", got)
+	}
+	if r.mon.Stats().ScrubEmergencies != 1 {
+		t.Fatalf("ScrubEmergencies = %d, want 1", r.mon.Stats().ScrubEmergencies)
+	}
+}

@@ -19,13 +19,61 @@ import (
 type RestoreReport struct {
 	PagesRestored int
 	RestoreTime   sim.Duration
+	// Integrity is the verify-on-restore outcome: every durable page's
+	// checksum verdict and what was done about failures.
+	Integrity IntegrityReport
 }
+
+// IntegrityReport is the per-page repair/quarantine accounting of a
+// verified restore. The invariant it witnesses: no page's bytes were
+// handed back to the application without either passing checksum
+// verification, being repaired from an authoritative source, or being
+// excluded and listed here.
+type IntegrityReport struct {
+	// PagesVerified counts durable pages checked (intact + repaired +
+	// quarantined).
+	PagesVerified int
+	// Repaired lists pages whose SSD copy failed verification but were
+	// restored from the RepairSource. Their durable copies are still
+	// bad: the caller must re-persist them (core.Manager.RepairPage /
+	// re-dirtying) before trusting the SSD again.
+	Repaired []mmu.PageID
+	// Quarantined lists pages whose SSD copy failed verification with
+	// no good copy available. They are NOT restored — the region keeps
+	// zeroes — because returning plausible-but-corrupt bytes is the one
+	// outcome a verified restore exists to prevent.
+	Quarantined []mmu.PageID
+}
+
+// Clean reports whether every verified page was intact.
+func (r IntegrityReport) Clean() bool {
+	return len(r.Repaired) == 0 && len(r.Quarantined) == 0
+}
+
+// RepairSource supplies authoritative page contents during a verified
+// restore, returning false when it has none for the page. A warm reboot
+// (NV-DRAM contents survived) can offer the live region; after a true
+// power cycle there is usually nothing, and corrupt pages quarantine.
+type RepairSource func(page mmu.PageID) ([]byte, bool)
 
 // RestoreRegion builds a fresh NV-DRAM region of the given configuration
 // and reloads every durable page from the SSD — the sequential-read
 // restore path after a power cycle. SSD read bandwidth is charged, so the
-// returned report carries the realistic warm-up time.
+// returned report carries the realistic warm-up time. Every page is
+// checksum-verified on the way through (equivalent to
+// RestoreRegionVerified with no repair source): corrupt pages are
+// quarantined in the report, never silently restored.
 func RestoreRegion(clock *sim.Clock, dev *ssd.SSD, cfg nvdram.Config) (*nvdram.Region, RestoreReport, error) {
+	return RestoreRegionVerified(clock, dev, cfg, nil)
+}
+
+// RestoreRegionVerified is the verify-on-restore path: it walks every
+// page the device has a durable claim about (stored contents or an
+// acked checksum — a fully lost write must be detected, not skipped),
+// verifies each against its recorded checksum, and restores only bytes
+// that pass. Failures are repaired from repair when it has the page, or
+// quarantined (left zero, listed in the report) when it doesn't.
+func RestoreRegionVerified(clock *sim.Clock, dev *ssd.SSD, cfg nvdram.Config, repair RepairSource) (*nvdram.Region, RestoreReport, error) {
 	region, err := nvdram.New(clock, cfg)
 	if err != nil {
 		return nil, RestoreReport{}, err
@@ -35,18 +83,37 @@ func RestoreRegion(clock *sim.Clock, dev *ssd.SSD, cfg nvdram.Config) (*nvdram.R
 	}
 	start := clock.Now()
 	restored := 0
-	for p := 0; p < region.NumPages(); p++ {
-		page := mmu.PageID(p)
-		if _, ok := dev.Durable(page); !ok {
+	var integ IntegrityReport
+	for _, page := range dev.DurablePageList() {
+		if int(page) >= region.NumPages() {
+			return nil, RestoreReport{}, fmt.Errorf("recovery: durable page %d outside region of %d pages", page, region.NumPages())
+		}
+		integ.PagesVerified++
+		data, verr := dev.ReadPageVerified(page)
+		if verr == nil {
+			if err := region.RestorePage(page, data); err != nil {
+				return nil, RestoreReport{}, err
+			}
+			restored++
 			continue
 		}
-		data := dev.ReadPage(page)
-		if err := region.RestorePage(page, data); err != nil {
-			return nil, RestoreReport{}, err
+		if repair != nil {
+			if good, ok := repair(page); ok {
+				if err := region.RestorePage(page, good); err != nil {
+					return nil, RestoreReport{}, err
+				}
+				restored++
+				integ.Repaired = append(integ.Repaired, page)
+				continue
+			}
 		}
-		restored++
+		integ.Quarantined = append(integ.Quarantined, page)
 	}
-	return region, RestoreReport{PagesRestored: restored, RestoreTime: clock.Now().Sub(start)}, nil
+	return region, RestoreReport{
+		PagesRestored: restored,
+		RestoreTime:   clock.Now().Sub(start),
+		Integrity:     integ,
+	}, nil
 }
 
 // VerifyRestored checks, byte for byte, that region matches the durable
@@ -58,6 +125,42 @@ func RestoreRegion(clock *sim.Clock, dev *ssd.SSD, cfg nvdram.Config) (*nvdram.R
 func VerifyRestored(region *nvdram.Region, dev *ssd.SSD) error {
 	for p := 0; p < region.NumPages(); p++ {
 		page := mmu.PageID(p)
+		live := region.RawPage(page)
+		durable, ok := dev.Durable(page)
+		if ok {
+			if !bytes.Equal(live, durable) {
+				return fmt.Errorf("recovery: restored page %d diverges from durable copy", page)
+			}
+			continue
+		}
+		for _, b := range live {
+			if b != 0 {
+				return fmt.Errorf("recovery: restored page %d has data but no durable copy", page)
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyRestoredWith is VerifyRestored made aware of a verified
+// restore's outcome: repaired pages are excluded from the byte-equality
+// check (the region holds the authoritative copy, the SSD still holds
+// the corrupt one until a re-clean lands), and quarantined pages are
+// excluded entirely (unrestored by design, durable copy untrusted).
+// Every other page must satisfy the plain invariant.
+func VerifyRestoredWith(region *nvdram.Region, dev *ssd.SSD, report IntegrityReport) error {
+	skip := make(map[mmu.PageID]struct{}, len(report.Repaired)+len(report.Quarantined))
+	for _, p := range report.Repaired {
+		skip[p] = struct{}{}
+	}
+	for _, p := range report.Quarantined {
+		skip[p] = struct{}{}
+	}
+	for p := 0; p < region.NumPages(); p++ {
+		page := mmu.PageID(p)
+		if _, ok := skip[page]; ok {
+			continue
+		}
 		live := region.RawPage(page)
 		durable, ok := dev.Durable(page)
 		if ok {

@@ -175,3 +175,115 @@ func TestWarmupValidation(t *testing.T) {
 		t.Fatal("zero latency accepted")
 	}
 }
+
+// seedDevice writes n recognisable pages synchronously and returns the
+// device plus its sim plumbing.
+func seedDevice(t *testing.T, n int) (*ssd.SSD, *sim.Clock) {
+	t.Helper()
+	clock := sim.NewClock()
+	events := sim.NewQueue()
+	dev := ssd.New(clock, events, ssd.Config{})
+	for p := 0; p < n; p++ {
+		if _, err := dev.WritePageSync(mmu.PageID(p), bytes.Repeat([]byte{byte(p + 1)}, 4096)); err != nil {
+			t.Fatalf("seed write %d: %v", p, err)
+		}
+	}
+	return dev, clock
+}
+
+// TestVerifiedRestoreQuarantinesCorruptPage: a silently corrupted page
+// must never be restored as good data — it stays zero and is listed.
+func TestVerifiedRestoreQuarantinesCorruptPage(t *testing.T) {
+	dev, _ := seedDevice(t, 6)
+	if !dev.CorruptPage(4, 1000, 0x80) {
+		t.Fatal("nothing to corrupt")
+	}
+	restored, rr, err := RestoreRegionVerified(sim.NewClock(), dev, nvdram.Config{Size: 8 * 4096}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	integ := rr.Integrity
+	if integ.PagesVerified != 6 || len(integ.Quarantined) != 1 || integ.Quarantined[0] != 4 {
+		t.Fatalf("integrity report %+v", integ)
+	}
+	if integ.Clean() {
+		t.Fatal("report claims clean with a quarantined page")
+	}
+	if rr.PagesRestored != 5 {
+		t.Fatalf("restored %d pages, want 5", rr.PagesRestored)
+	}
+	for _, b := range restored.RawPage(4) {
+		if b != 0 {
+			t.Fatal("quarantined page carries restored bytes")
+		}
+	}
+	// The plain invariant fails (the corrupt durable copy diverges); the
+	// report-aware one knows the divergence was detected and excluded.
+	if VerifyRestored(restored, dev) == nil {
+		t.Fatal("plain VerifyRestored ignored the quarantined divergence")
+	}
+	if err := VerifyRestoredWith(restored, dev, integ); err != nil {
+		t.Fatalf("VerifyRestoredWith: %v", err)
+	}
+}
+
+// TestVerifiedRestoreRepairsFromSource: with an authoritative copy
+// available (warm reboot), the corrupt page is repaired, not lost.
+func TestVerifiedRestoreRepairsFromSource(t *testing.T) {
+	dev, _ := seedDevice(t, 4)
+	want := bytes.Repeat([]byte{3}, 4096) // page 2's original contents
+	dev.CorruptPage(2, 9, 0x01)
+	source := func(page mmu.PageID) ([]byte, bool) {
+		if page == 2 {
+			return want, true
+		}
+		return nil, false
+	}
+	restored, rr, err := RestoreRegionVerified(sim.NewClock(), dev, nvdram.Config{Size: 8 * 4096}, source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	integ := rr.Integrity
+	if len(integ.Repaired) != 1 || integ.Repaired[0] != 2 || len(integ.Quarantined) != 0 {
+		t.Fatalf("integrity report %+v", integ)
+	}
+	if !bytes.Equal(restored.RawPage(2), want) {
+		t.Fatal("repaired page does not carry the source's bytes")
+	}
+	if rr.PagesRestored != 4 {
+		t.Fatalf("restored %d pages, want 4", rr.PagesRestored)
+	}
+	if err := VerifyRestoredWith(restored, dev, integ); err != nil {
+		t.Fatalf("VerifyRestoredWith: %v", err)
+	}
+}
+
+// TestVerifiedRestoreDetectsLostWrite: a page the device acked but never
+// stored (fully lost write) must surface at restore as a quarantined
+// page, not be silently skipped.
+func TestVerifiedRestoreDetectsLostWrite(t *testing.T) {
+	dev, _ := seedDevice(t, 2)
+	dev.SetFaultInjector(lostInjector{})
+	if _, err := dev.WritePageSync(5, bytes.Repeat([]byte{0x5A}, 4096)); err != nil {
+		t.Fatalf("lost write acked with error: %v", err)
+	}
+	dev.SetFaultInjector(nil)
+	_, rr, err := RestoreRegionVerified(sim.NewClock(), dev, nvdram.Config{Size: 8 * 4096}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	integ := rr.Integrity
+	if integ.PagesVerified != 3 {
+		t.Fatalf("verified %d pages, want 3 (lost page must be visited)", integ.PagesVerified)
+	}
+	if len(integ.Quarantined) != 1 || integ.Quarantined[0] != 5 {
+		t.Fatalf("lost write not quarantined: %+v", integ)
+	}
+}
+
+// lostInjector loses every write.
+type lostInjector struct{}
+
+func (lostInjector) WriteFault(mmu.PageID, []byte) ssd.FaultDecision {
+	return ssd.FaultDecision{Fault: ssd.FaultLost}
+}

@@ -1,0 +1,218 @@
+package scrub
+
+import (
+	"testing"
+
+	"viyojit/internal/core"
+	"viyojit/internal/mmu"
+	"viyojit/internal/nvdram"
+	"viyojit/internal/sim"
+	"viyojit/internal/ssd"
+)
+
+type harness struct {
+	clock  *sim.Clock
+	events *sim.Queue
+	region *nvdram.Region
+	dev    *ssd.SSD
+	mgr    *core.Manager
+	scr    *Scrubber
+}
+
+func newHarness(t testing.TB, pages, budget int, cfg Config) *harness {
+	t.Helper()
+	clock := sim.NewClock()
+	events := sim.NewQueue()
+	region, err := nvdram.New(clock, nvdram.Config{Size: int64(pages) * 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := ssd.New(clock, events, ssd.Config{})
+	mgr, err := core.NewManager(clock, events, region, dev, core.Config{DirtyBudgetPages: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &harness{clock: clock, events: events, region: region, dev: dev,
+		mgr: mgr, scr: New(clock, events, dev, mgr, cfg)}
+}
+
+// seed dirties pages 0..n-1 through the fault path and drains every
+// clean, leaving n intact durable pages.
+func (h *harness) seed(t testing.TB, n int) {
+	t.Helper()
+	for p := 0; p < n; p++ {
+		if err := h.region.WriteAt([]byte{byte(p + 1)}, int64(p)*4096); err != nil {
+			t.Fatalf("write page %d: %v", p, err)
+		}
+		h.mgr.Pump()
+	}
+	h.mgr.FlushAll()
+	if h.mgr.DirtyCount() != 0 {
+		t.Fatalf("seed left %d dirty pages", h.mgr.DirtyCount())
+	}
+}
+
+func TestScrubAllDetectsAndRepairs(t *testing.T) {
+	h := newHarness(t, 8, 4, Config{})
+	h.seed(t, 6)
+	if !h.dev.CorruptPage(3, 42, 0xFF) {
+		t.Fatal("nothing to corrupt")
+	}
+	if got := h.scr.ScrubAll(); got != 1 {
+		t.Fatalf("ScrubAll detected %d corruptions, want 1", got)
+	}
+	st := h.scr.Stats()
+	if st.Repairs != 1 || st.Quarantines != 0 {
+		t.Fatalf("repairs=%d quarantines=%d, want 1/0", st.Repairs, st.Quarantines)
+	}
+	// The repair re-dirtied the page and kicked a clean; let it land.
+	h.mgr.FlushAll()
+	if err := h.dev.VerifyPage(3); err != nil {
+		t.Fatalf("page still corrupt after repair: %v", err)
+	}
+	if h.scr.ScrubAll() != 0 {
+		t.Fatal("second pass re-detected a repaired page")
+	}
+	if h.mgr.Stats().RepairRedirties != 1 {
+		t.Fatalf("manager recorded %d repair re-dirties, want 1", h.mgr.Stats().RepairRedirties)
+	}
+}
+
+// TestScrubRepairRespectsBudget fills the dirty set to the budget before
+// scrubbing a corrupt clean page: the repair must force cleans to make
+// room, never push dirty past the bound (the manager panics if it does).
+func TestScrubRepairRespectsBudget(t *testing.T) {
+	h := newHarness(t, 16, 2, Config{})
+	h.seed(t, 8)
+	// Fill the budget with fresh dirty pages.
+	for p := 8; p < 10; p++ {
+		if err := h.region.WriteAt([]byte{0xEE}, int64(p)*4096); err != nil {
+			t.Fatal(err)
+		}
+		h.mgr.Pump()
+	}
+	if h.mgr.DirtyCount() != 2 {
+		t.Fatalf("dirty count %d, want budget-full 2", h.mgr.DirtyCount())
+	}
+	h.dev.CorruptPage(1, 0, 0x01)
+	forcedBefore := h.mgr.Stats().ForcedCleans
+	if got := h.scr.ScrubAll(); got != 1 {
+		t.Fatalf("detected %d, want 1", got)
+	}
+	if h.mgr.DirtyCount() > 2 {
+		t.Fatalf("repair pushed dirty count to %d, budget is 2", h.mgr.DirtyCount())
+	}
+	if h.mgr.Stats().ForcedCleans == forcedBefore {
+		t.Fatal("repair admitted a page into a full budget without forcing a clean")
+	}
+	h.mgr.FlushAll()
+	if err := h.dev.VerifyPage(1); err != nil {
+		t.Fatalf("page still corrupt after budget-constrained repair: %v", err)
+	}
+}
+
+func TestScrubQuarantineAndClear(t *testing.T) {
+	h := newHarness(t, 8, 4, Config{DisableRepair: true})
+	h.seed(t, 4)
+	h.dev.CorruptPage(2, 7, 0x10)
+	if h.scr.ScrubAll() != 1 {
+		t.Fatal("corruption not detected")
+	}
+	if h.scr.QuarantineCount() != 1 {
+		t.Fatalf("quarantine size %d, want 1", h.scr.QuarantineCount())
+	}
+	q := h.scr.Quarantine()
+	if len(q) != 1 || q[0].Page != 2 || q[0].Reason == "" {
+		t.Fatalf("quarantine record %+v", q)
+	}
+	// Re-detection of the same page counts Requarantine, not Detections.
+	if h.scr.ScrubAll() != 0 {
+		t.Fatal("quarantined page counted as a fresh detection")
+	}
+	if h.scr.Stats().Requarantine == 0 {
+		t.Fatal("re-scan of a quarantined page not recorded")
+	}
+	// An application rewrite re-cleans the page; the next pass clears it.
+	if err := h.region.WriteAt([]byte{0x55}, 2*4096); err != nil {
+		t.Fatal(err)
+	}
+	h.mgr.Pump()
+	h.mgr.FlushAll()
+	h.scr.ScrubAll()
+	if h.scr.QuarantineCount() != 0 || h.scr.Stats().Cleared != 1 {
+		t.Fatalf("quarantine not cleared after rewrite: count=%d cleared=%d",
+			h.scr.QuarantineCount(), h.scr.Stats().Cleared)
+	}
+}
+
+// TestScrubBackgroundPacing runs the paced background scan on the sim
+// clock: bursts fire at the bandwidth-share cadence, the walk completes
+// passes, and a corruption planted mid-run is detected with a positive
+// mean time to detect.
+func TestScrubBackgroundPacing(t *testing.T) {
+	h := newHarness(t, 16, 4, Config{BandwidthShare: 0.5, BurstPages: 4})
+	h.seed(t, 12)
+	h.scr.Start()
+	if !h.scr.Running() {
+		t.Fatal("scrubber not running after Start")
+	}
+	h.dev.CorruptPage(9, 100, 0x42)
+	for i := 0; i < 400 && h.scr.Stats().Detections == 0; i++ {
+		h.clock.Advance(10 * sim.Microsecond)
+		h.mgr.Pump()
+	}
+	st := h.scr.Stats()
+	if st.Detections != 1 {
+		t.Fatalf("background scan never detected the corruption: %+v", st)
+	}
+	if st.Bursts == 0 || st.PagesScanned == 0 {
+		t.Fatalf("no paced bursts ran: %+v", st)
+	}
+	if st.MTTD() <= 0 {
+		t.Fatalf("MTTD = %v, want > 0 (oracle knew the corruption time)", st.MTTD())
+	}
+	// Let the run continue: the walk must wrap into full passes.
+	for i := 0; i < 400 && h.scr.Stats().Passes == 0; i++ {
+		h.clock.Advance(10 * sim.Microsecond)
+		h.mgr.Pump()
+	}
+	if h.scr.Stats().Passes == 0 {
+		t.Fatal("scan never completed a pass")
+	}
+	h.scr.Stop()
+	if h.scr.Running() {
+		t.Fatal("scrubber still running after Stop")
+	}
+	before := h.scr.Stats().Bursts
+	h.clock.Advance(10 * sim.Millisecond)
+	h.mgr.Pump()
+	if h.scr.Stats().Bursts != before {
+		t.Fatal("bursts kept firing after Stop")
+	}
+}
+
+// TestScrubVerifyOnly: a scrubber with no manager quarantines instead of
+// repairing — the standalone-device configuration.
+func TestScrubVerifyOnly(t *testing.T) {
+	clock := sim.NewClock()
+	events := sim.NewQueue()
+	dev := ssd.New(clock, events, ssd.Config{})
+	data := make([]byte, 4096)
+	for p := mmu.PageID(0); p < 3; p++ {
+		if _, err := dev.WritePageSync(p, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	scr := New(clock, events, dev, nil, Config{})
+	dev.CorruptPage(1, 0, 0x04)
+	if scr.ScrubAll() != 1 {
+		t.Fatal("corruption not detected")
+	}
+	if scr.QuarantineCount() != 1 || scr.Stats().Repairs != 0 {
+		t.Fatalf("verify-only scrubber did not quarantine: %+v", scr.Stats())
+	}
+	det, q := scr.ScrubErrors()
+	if det != 1 || q != 1 {
+		t.Fatalf("ScrubErrors = (%d, %d), want (1, 1)", det, q)
+	}
+}

@@ -31,6 +31,17 @@ const (
 	// ErrTornWrite. A correct consumer must keep the page dirty and
 	// rewrite it in full.
 	FaultTorn
+	// FaultLost models a lost write: the device acks success but never
+	// persists the data. The completion reports nil — the host believes
+	// the page durable — while the store keeps its previous contents.
+	// Only the page checksum (recorded at ack) can expose the lie.
+	FaultLost
+	// FaultMisdirected models a misdirected write: the device acks
+	// success for the intended page but the data lands on a different
+	// durable page, silently corrupting the victim while leaving the
+	// intended page stale. With no other durable page to hit it degrades
+	// to FaultLost semantics.
+	FaultMisdirected
 )
 
 // FaultDecision is the injector's verdict for one write.
@@ -39,6 +50,14 @@ type FaultDecision struct {
 	// ExtraLatency is added to the IO's completion time — a latency
 	// spike. It composes with any Fault.
 	ExtraLatency sim.Duration
+	// Rot, when set, flips one bit in one at-rest durable page at the
+	// IO's completion time — silent bit rot. It composes with any Fault;
+	// RotSeed deterministically selects the victim page and bit.
+	Rot     bool
+	RotSeed uint64
+	// MisdirectSeed deterministically selects the victim page of a
+	// FaultMisdirected write.
+	MisdirectSeed uint64
 }
 
 // FaultInjector decides the fate of each submitted page write. It is
@@ -65,7 +84,10 @@ var ErrTornWrite = errors.New("ssd: torn page write (injected)")
 func (d *SSD) SetFaultInjector(fi FaultInjector) { d.faults = fi }
 
 // applyTorn installs the torn image for page: the first half of data
-// over whatever the durable store previously held.
+// over whatever the durable store previously held. The page checksum is
+// left at the previous ack, so the mixed image is checksum-detectable,
+// and the corruption oracle records the divergence until a full rewrite
+// lands.
 func (d *SSD) applyTorn(page mmu.PageID, data []byte) {
 	torn := make([]byte, len(data))
 	if prev, ok := d.store[page]; ok {
@@ -73,4 +95,5 @@ func (d *SSD) applyTorn(page mmu.PageID, data []byte) {
 	}
 	copy(torn[:len(data)/2], data[:len(data)/2])
 	d.store[page] = torn
+	d.noteCorrupt(page)
 }

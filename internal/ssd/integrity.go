@@ -1,0 +1,211 @@
+package ssd
+
+// End-to-end data integrity for the durable store. The device keeps a
+// per-page checksum alongside every page it believes it has durably
+// written — the model of a host-side (ZFS-parent-style) checksum table:
+// the checksum records what the host *intended* and was *acked*, while
+// the store records what the device actually holds. The two diverge
+// under the silent fault classes hybrid DRAM/NVM lifetime studies show
+// dominate long-horizon failures:
+//
+//   - at-rest bit rot: stored bytes mutate, checksum unchanged;
+//   - lost writes: the device acks but never persists — checksum advances
+//     to the new contents, the store keeps the old;
+//   - misdirected writes: the data lands on the wrong page — the intended
+//     page's checksum advances without its data, the victim's data
+//     changes without its checksum;
+//   - torn programs: a prefix lands; the host saw an error, so the
+//     checksum stays at the previous ack and mismatches the mixed image.
+//
+// In every case VerifyPage observes checksum ≠ contents, so silent
+// corruption is always *detectable* even when it is not preventable.
+// The scrubber (internal/scrub) walks the durable set calling VerifyPage
+// and repairs from the authoritative NV-DRAM copy; recovery
+// (internal/recovery) verifies on restore so a power cycle never
+// silently reloads corrupt bytes.
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"sort"
+
+	"viyojit/internal/mmu"
+	"viyojit/internal/sim"
+)
+
+// ErrCorruptPage is returned by VerifyPage/ReadPageVerified when a page's
+// durable contents do not match its recorded checksum: the bytes in the
+// store are not the bytes the host was acked for.
+var ErrCorruptPage = errors.New("ssd: page contents do not match checksum (silent corruption)")
+
+// crcTab is the checksum polynomial table. CRC-64/ECMA is deterministic
+// across runs and platforms, which the seeded sweeps require.
+var crcTab = crc64.MakeTable(crc64.ECMA)
+
+// Checksum returns the integrity checksum of a page image — exposed so
+// tests and recovery tooling can compute the same fingerprint the device
+// records.
+func Checksum(data []byte) uint64 { return crc64.Checksum(data, crcTab) }
+
+// noteCorrupt records that page's durable copy no longer matches what the
+// host was acked for — a simulation-side oracle keyed by the time the
+// first still-unrepaired corruption landed. It backs mean-time-to-detect
+// measurement and the crash sweep's "no undetected escapes" assertion;
+// host-side code must never consult it to make recovery decisions (the
+// checksums are the host's only legitimate signal).
+func (d *SSD) noteCorrupt(page mmu.PageID) {
+	if d.corruptAt == nil {
+		d.corruptAt = make(map[mmu.PageID]sim.Time)
+	}
+	if _, ok := d.corruptAt[page]; !ok {
+		d.corruptAt[page] = d.clock.Now()
+	}
+}
+
+// clearCorrupt drops the oracle entry after a successful full-page write
+// replaced the corrupt image.
+func (d *SSD) clearCorrupt(page mmu.PageID) {
+	delete(d.corruptAt, page)
+}
+
+// CorruptedSince reports when the page's oldest still-unrepaired injected
+// corruption landed. It is measurement oracle, not host state: use it for
+// MTTD accounting and sweep assertions only.
+func (d *SSD) CorruptedSince(page mmu.PageID) (sim.Time, bool) {
+	at, ok := d.corruptAt[page]
+	return at, ok
+}
+
+// CorruptOracle returns, sorted, every page whose durable copy currently
+// diverges from its last acked contents because of injected corruption.
+// Like CorruptedSince it exists for sweeps and stats, not recovery.
+func (d *SSD) CorruptOracle() []mmu.PageID {
+	out := make([]mmu.PageID, 0, len(d.corruptAt))
+	for p := range d.corruptAt {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DurablePageList returns, sorted, every page the host or device has any
+// durable claim about: pages with stored contents plus pages whose
+// checksum was acked but whose data was lost entirely. Scrubbers and
+// verified restore walk this list so a fully lost write (checksum
+// recorded, nothing in the store) is still visited and detected.
+func (d *SSD) DurablePageList() []mmu.PageID {
+	seen := make(map[mmu.PageID]struct{}, len(d.store)+len(d.sums))
+	out := make([]mmu.PageID, 0, len(d.store)+len(d.sums))
+	for p := range d.store {
+		seen[p] = struct{}{}
+		out = append(out, p)
+	}
+	for p := range d.sums {
+		if _, ok := seen[p]; !ok {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DurableChecksum returns the recorded checksum for page — the
+// fingerprint of the contents the host was last acked for.
+func (d *SSD) DurableChecksum(page mmu.PageID) (uint64, bool) {
+	s, ok := d.sums[page]
+	return s, ok
+}
+
+// VerifyPage checks a page's durable contents against its recorded
+// checksum without charging device time (the scrubber models its read
+// bandwidth by pacing, and restore paths charge reads explicitly). It
+// returns nil for an intact page or a page with no durable claim, and an
+// error wrapping ErrCorruptPage otherwise.
+func (d *SSD) VerifyPage(page mmu.PageID) error {
+	d.stats.VerifyChecks++
+	data, hasData := d.store[page]
+	sum, hasSum := d.sums[page]
+	switch {
+	case !hasData && !hasSum:
+		return nil
+	case !hasData:
+		d.stats.VerifyFailures++
+		return fmt.Errorf("%w: page %d acked but absent from the store (lost write)", ErrCorruptPage, page)
+	case !hasSum:
+		d.stats.VerifyFailures++
+		return fmt.Errorf("%w: page %d present with no acked checksum (misdirected or torn write)", ErrCorruptPage, page)
+	case Checksum(data) != sum:
+		d.stats.VerifyFailures++
+		return fmt.Errorf("%w: page %d", ErrCorruptPage, page)
+	}
+	return nil
+}
+
+// ReadPageVerified is ReadPage with integrity checking: read bandwidth
+// and latency are charged, then the contents are validated against the
+// recorded checksum. On corruption it returns the (untrusted) bytes that
+// are present along with an error wrapping ErrCorruptPage; a page with
+// no durable claim returns (nil, nil) like ReadPage.
+func (d *SSD) ReadPageVerified(page mmu.PageID) ([]byte, error) {
+	data := d.ReadPage(page)
+	if err := d.VerifyPage(page); err != nil {
+		return data, err
+	}
+	return data, nil
+}
+
+// CorruptPage XORs pattern into the stored byte at off — the direct
+// at-rest corruption hook tests, CLIs, and fuzzers use (the fault
+// injector's RotProb flows through the same mutation). The checksum is
+// deliberately left alone: that is what makes the damage silent. It
+// reports whether the page had stored contents to corrupt.
+func (d *SSD) CorruptPage(page mmu.PageID, off int, pattern byte) bool {
+	data, ok := d.store[page]
+	if !ok || len(data) == 0 || pattern == 0 {
+		return false
+	}
+	data[off%len(data)] ^= pattern
+	d.stats.RotEvents++
+	d.noteCorrupt(page)
+	return true
+}
+
+// applyRot flips one deterministically chosen bit in one at-rest durable
+// page — the FaultDecision.Rot path. seed selects both the victim page
+// (from the sorted durable list, so the choice is stable for a given
+// store) and the bit. No-op on an empty store.
+func (d *SSD) applyRot(seed uint64) {
+	if len(d.store) == 0 {
+		return
+	}
+	pages := make([]mmu.PageID, 0, len(d.store))
+	for p := range d.store {
+		pages = append(pages, p)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	victim := pages[seed%uint64(len(pages))]
+	data := d.store[victim]
+	bit := (seed / uint64(len(pages))) % uint64(len(data)*8)
+	data[bit/8] ^= 1 << (bit % 8)
+	d.stats.RotEvents++
+	d.noteCorrupt(victim)
+}
+
+// misdirectTarget picks the page a misdirected write actually lands on:
+// a deterministic other member of the durable set. If the store has no
+// other page to hit, the write degrades to a fully lost write (the data
+// lands nowhere), which the caller models by returning (0, false).
+func (d *SSD) misdirectTarget(intended mmu.PageID, seed uint64) (mmu.PageID, bool) {
+	candidates := make([]mmu.PageID, 0, len(d.store))
+	for p := range d.store {
+		if p != intended {
+			candidates = append(candidates, p)
+		}
+	}
+	if len(candidates) == 0 {
+		return 0, false
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+	return candidates[seed%uint64(len(candidates))], true
+}

@@ -99,6 +99,11 @@ type Stats struct {
 	WriteErrors     uint64 // completions that reported a transient fault
 	TornWrites      uint64 // completions that reported a torn write
 	LatencySpikes   uint64 // IOs delayed by injected extra latency
+	LostWrites      uint64 // completions acked without persisting (injected)
+	Misdirected     uint64 // completions whose data landed on the wrong page (injected)
+	RotEvents       uint64 // at-rest bit corruptions applied (injected)
+	VerifyChecks    uint64 // checksum verifications performed
+	VerifyFailures  uint64 // verifications that found corruption
 	MaxQueueDepth   int
 	BusyUntil       sim.Time // device busy horizon (for utilisation)
 	TotalWriteLag   sim.Duration
@@ -121,9 +126,11 @@ type SSD struct {
 	events *sim.Queue
 	cfg    Config
 
-	store     map[mmu.PageID][]byte // durable page contents
-	dedup     map[uint64]struct{}   // content fingerprints (Dedup)
-	faults    FaultInjector         // nil = never errors (fault.go)
+	store     map[mmu.PageID][]byte   // durable page contents
+	sums      map[mmu.PageID]uint64   // per-page checksums of last acked contents (integrity.go)
+	corruptAt map[mmu.PageID]sim.Time // oracle: first unrepaired silent corruption per page
+	dedup     map[uint64]struct{}     // content fingerprints (Dedup)
+	faults    FaultInjector           // nil = never errors (fault.go)
 	inflight  int
 	bandwidth sim.Time // next time the write channel is free
 	stats     Stats
@@ -152,6 +159,7 @@ func New(clock *sim.Clock, events *sim.Queue, cfg Config) *SSD {
 		events: events,
 		cfg:    cfg.withDefaults(),
 		store:  make(map[mmu.PageID][]byte),
+		sums:   make(map[mmu.PageID]uint64),
 	}
 }
 
@@ -175,12 +183,21 @@ func transferTime(n int, bw int64) sim.Duration {
 // completions) fire — until a slot frees. onComplete, if non-nil, runs at
 // the IO's completion time; a non-nil error (ErrWriteFault, ErrTornWrite)
 // means the page's latest contents are NOT durable and the caller must
-// resubmit. The data slice is retained until completion; callers must
-// pass an unshared copy (nvdram.Region.PageData does).
+// resubmit. The page bytes are snapshotted at submission, so the caller
+// may reuse or mutate data as soon as WritePageAsync returns.
 func (d *SSD) WritePageAsync(page mmu.PageID, data []byte, onComplete func(sim.Time, error)) {
 	if len(data) != d.cfg.PageSize {
 		panic(fmt.Sprintf("ssd: write of %d bytes, want page size %d", len(data), d.cfg.PageSize))
 	}
+	// Snapshot before anything can yield to the event loop: the stall
+	// loop below and the completion both run arbitrary events, and the
+	// caller's buffer may be a live DRAM page that keeps changing. A
+	// durable write must persist the bytes as of submission, not as of
+	// completion — without the copy, later DRAM stores would silently
+	// rewrite "durable" contents through the retained slice.
+	snap := make([]byte, len(data))
+	copy(snap, data)
+	data = snap
 	for d.inflight >= d.cfg.MaxOutstanding {
 		d.stats.SubmitStalls++
 		if !d.events.Step(d.clock) {
@@ -226,10 +243,42 @@ func (d *SSD) WritePageAsync(page mmu.PageID, data []byte, onComplete func(sim.T
 			d.stats.TornWrites++
 			d.applyTorn(page, data)
 			err = ErrTornWrite
-		default:
-			d.store[page] = data
+		case FaultLost:
+			// Acked but never persisted: the host sees success, so the
+			// checksum advances to the new contents while the store keeps
+			// the old — the classic silent divergence only a scrub or a
+			// verified restore can expose.
+			d.stats.LostWrites++
 			d.stats.BytesWritten += uint64(len(data))
 			goodput = len(data)
+			d.sums[page] = Checksum(data)
+			d.noteCorrupt(page)
+		case FaultMisdirected:
+			// Acked for the intended page, landed on a victim: the
+			// intended page's checksum advances without its data, and the
+			// victim's data changes under its unchanged checksum. Both
+			// are now checksum-detectable. With nothing else to hit, the
+			// write degrades to lost semantics.
+			d.stats.Misdirected++
+			d.stats.BytesWritten += uint64(len(data))
+			goodput = len(data)
+			d.sums[page] = Checksum(data)
+			d.noteCorrupt(page)
+			if victim, ok := d.misdirectTarget(page, fault.MisdirectSeed); ok {
+				d.store[victim] = data
+				d.noteCorrupt(victim)
+			} else {
+				d.stats.LostWrites++
+			}
+		default:
+			d.store[page] = data
+			d.sums[page] = Checksum(data)
+			d.clearCorrupt(page)
+			d.stats.BytesWritten += uint64(len(data))
+			goodput = len(data)
+		}
+		if fault.Rot {
+			d.applyRot(fault.RotSeed)
 		}
 		d.inflight--
 		d.stats.WritesCompleted++
@@ -293,6 +342,8 @@ func (d *SSD) WriteBatch(pages map[mmu.PageID][]byte) sim.Time {
 		cp := make([]byte, len(data))
 		copy(cp, data)
 		d.store[page] = cp
+		d.sums[page] = Checksum(cp)
+		d.clearCorrupt(page)
 		d.stats.BytesWritten += uint64(len(data))
 		d.stats.WritesCompleted++
 		d.stats.WritesSubmitted++
@@ -327,6 +378,7 @@ func (d *SSD) SeedDurable(page mmu.PageID, data []byte) {
 	cp := make([]byte, len(data))
 	copy(cp, data)
 	d.store[page] = cp
+	d.sums[page] = Checksum(cp)
 }
 
 // Durable returns the stored contents of page without charging time, for

@@ -31,10 +31,10 @@ import (
 	"viyojit/internal/battery"
 	"viyojit/internal/core"
 	"viyojit/internal/health"
-	"viyojit/internal/mmu"
 	"viyojit/internal/nvdram"
 	"viyojit/internal/power"
 	"viyojit/internal/recovery"
+	"viyojit/internal/scrub"
 	"viyojit/internal/sim"
 	"viyojit/internal/ssd"
 )
@@ -65,6 +65,15 @@ type (
 	BudgetPolicy = health.Policy
 	// HealthState is the manager's rung on the degradation ladder.
 	HealthState = core.HealthState
+	// ScrubConfig tunes the background integrity scrubber.
+	ScrubConfig = scrub.Config
+	// ScrubStats are the scrubber's counters.
+	ScrubStats = scrub.Stats
+	// QuarantinedPage is one corrupt durable page with no repair path.
+	QuarantinedPage = scrub.Quarantined
+	// IntegrityReport is the per-page repair/quarantine accounting of a
+	// verified restore (System.Recover).
+	IntegrityReport = recovery.IntegrityReport
 )
 
 // Degradation-ladder rungs (see core.HealthState).
@@ -126,6 +135,12 @@ type Config struct {
 	// DisableHealthMonitor turns the monitor off; budget retuning then
 	// happens only through the battery's change hooks.
 	DisableHealthMonitor bool
+	// Scrub tunes the background integrity scrubber. Zero values select
+	// the scrubber's defaults (5 % read-bandwidth share, 8-page bursts).
+	Scrub ScrubConfig
+	// DisableScrubber turns the background scan off. The scrubber still
+	// exists for on-demand System.Scrub calls.
+	DisableScrubber bool
 }
 
 // fixedFlushOverhead is the flush-time allowance reserved when deriving
@@ -136,15 +151,16 @@ const fixedFlushOverhead = Duration(500 * sim.Microsecond)
 // System is a fully wired Viyojit stack. It is not safe for concurrent
 // use: the simulation is single-goroutine (DESIGN.md §5).
 type System struct {
-	clock   *sim.Clock
-	events  *sim.Queue
-	region  *nvdram.Region
-	dev     *ssd.SSD
-	batt    *battery.Battery
-	pm      power.Model
-	manager *core.Manager
-	monitor *health.Monitor
-	cfg     Config
+	clock    *sim.Clock
+	events   *sim.Queue
+	region   *nvdram.Region
+	dev      *ssd.SSD
+	batt     *battery.Battery
+	pm       power.Model
+	manager  *core.Manager
+	monitor  *health.Monitor
+	scrubber *scrub.Scrubber
+	cfg      Config
 }
 
 // New builds a System: region, device, battery, and manager, with the
@@ -257,16 +273,28 @@ func New(cfg Config) (*System, error) {
 		}
 	}
 
+	// The scrubber always exists (on-demand Scrub calls work regardless);
+	// only the paced background scan is optional. Its detections feed the
+	// health monitor's ladder decisions.
+	scr := scrub.New(clock, events, dev, mgr, cfg.Scrub)
+	if !cfg.DisableScrubber {
+		scr.Start()
+	}
+	if mon != nil {
+		mon.AttachScrub(scr)
+	}
+
 	return &System{
-		clock:   clock,
-		events:  events,
-		region:  region,
-		dev:     dev,
-		batt:    batt,
-		pm:      cfg.Power,
-		manager: mgr,
-		monitor: mon,
-		cfg:     cfg,
+		clock:    clock,
+		events:   events,
+		region:   region,
+		dev:      dev,
+		batt:     batt,
+		pm:       cfg.Power,
+		manager:  mgr,
+		monitor:  mon,
+		scrubber: scr,
+		cfg:      cfg,
 	}, nil
 }
 
@@ -342,6 +370,42 @@ func (s *System) SetBudgetPolicy(p BudgetPolicy) error {
 	return s.monitor.SetPolicy(p)
 }
 
+// Scrubber returns the background integrity scrubber, e.g. for pacing
+// stats or the quarantine list.
+func (s *System) Scrubber() *scrub.Scrubber { return s.scrubber }
+
+// Scrub runs one full synchronous integrity pass over the durable set —
+// every page checked against its checksum, corrupt pages repaired
+// through the budget-enforced re-clean path or quarantined. It returns
+// the number of corruptions detected this pass.
+func (s *System) Scrub() uint64 { return s.scrubber.ScrubAll() }
+
+// IntegrityStatus is System.IntegrityReport's summary of end-to-end
+// data-integrity state: what the scrubber found and fixed, and what the
+// device-level verification counters saw.
+type IntegrityStatus struct {
+	// Scrub are the scrubber's counters (detections, repairs, MTTD).
+	Scrub ScrubStats
+	// Quarantined lists corrupt durable pages with no repair path.
+	Quarantined []QuarantinedPage
+	// VerifyChecks and VerifyFailures are the device's cumulative
+	// checksum verifications and failures (scrub, restore, and direct
+	// verified reads combined).
+	VerifyChecks   uint64
+	VerifyFailures uint64
+}
+
+// IntegrityReport summarises the system's integrity state.
+func (s *System) IntegrityReport() IntegrityStatus {
+	devStats := s.dev.Stats()
+	return IntegrityStatus{
+		Scrub:          s.scrubber.Stats(),
+		Quarantined:    s.scrubber.Quarantine(),
+		VerifyChecks:   devStats.VerifyChecks,
+		VerifyFailures: devStats.VerifyFailures,
+	}
+}
+
 // FlushAll synchronously cleans every dirty page (clean shutdown).
 func (s *System) FlushAll() { s.manager.FlushAll() }
 
@@ -361,20 +425,34 @@ func (s *System) VerifyDurability() error { return s.manager.VerifyDurability() 
 
 // Recover builds a fresh System of the same configuration whose NV-DRAM
 // is reloaded from this system's SSD — the warm reboot after a power
-// cycle. The returned report carries the restore time.
+// cycle. Every durable page is checksum-verified before it is restored:
+// a corrupt page is quarantined and listed in the report's Integrity
+// section, never silently handed back to the application. (After a true
+// power cycle the DRAM copy is gone, so there is no repair source — the
+// background scrubber is what catches corruption while repair is still
+// possible.)
 func (s *System) Recover() (*System, recovery.RestoreReport, error) {
 	ns, err := New(s.cfg)
 	if err != nil {
 		return nil, recovery.RestoreReport{}, err
 	}
 	// The new System's device object represents the same physical SSD,
-	// whose contents survived the power cycle: seed its durable store,
-	// then reload each page into NV-DRAM, charging the reboot's clock
-	// for the reads.
+	// whose contents survived the power cycle: verify, seed its durable
+	// store, then reload each page into NV-DRAM, charging the reboot's
+	// clock for the reads. The walk covers every page with any durable
+	// claim — a fully lost write (checksum acked, store empty) must be
+	// detected, not skipped. Quarantined pages are not seeded: seeding
+	// recomputes the checksum from the stored bytes, which would launder
+	// corrupt data into a "verified" page.
 	start := ns.clock.Now()
 	restored := 0
-	for p := 0; p < ns.region.NumPages(); p++ {
-		page := mmu.PageID(p)
+	var integ recovery.IntegrityReport
+	for _, page := range s.dev.DurablePageList() {
+		integ.PagesVerified++
+		if verr := s.dev.VerifyPage(page); verr != nil {
+			integ.Quarantined = append(integ.Quarantined, page)
+			continue
+		}
 		data, ok := s.dev.Durable(page)
 		if !ok {
 			continue
@@ -389,14 +467,16 @@ func (s *System) Recover() (*System, recovery.RestoreReport, error) {
 	return ns, recovery.RestoreReport{
 		PagesRestored: restored,
 		RestoreTime:   ns.clock.Now().Sub(start),
+		Integrity:     integ,
 	}, nil
 }
 
-// Close stops the health monitor and the background epoch task and
-// drains in-flight IO.
+// Close stops the health monitor, the scrubber, and the background
+// epoch task, and drains in-flight IO.
 func (s *System) Close() {
 	if s.monitor != nil {
 		s.monitor.Close()
 	}
+	s.scrubber.Stop()
 	s.manager.Close()
 }

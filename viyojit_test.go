@@ -278,3 +278,110 @@ func TestFacadeHardwareAssist(t *testing.T) {
 		t.Fatal("hardware mode lost data across power failure")
 	}
 }
+
+// TestFacadeScrubRepairs: the on-demand scrub detects a silently
+// corrupted durable page and repairs it through the budget-enforced
+// re-clean path; the integrity report records the episode.
+func TestFacadeScrubRepairs(t *testing.T) {
+	sys := newTestSystem(t, Config{})
+	defer sys.Close()
+	m, err := sys.Map("heap", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteAt([]byte("precious bytes"), 4096); err != nil {
+		t.Fatal(err)
+	}
+	sys.Pump()
+	sys.FlushAll()
+	pages := sys.SSD().DurablePageList()
+	if len(pages) == 0 {
+		t.Fatal("flush left nothing durable")
+	}
+	if !sys.SSD().CorruptPage(pages[0], 3, 0x40) {
+		t.Fatal("nothing to corrupt")
+	}
+	if got := sys.Scrub(); got != 1 {
+		t.Fatalf("Scrub detected %d corruptions, want 1", got)
+	}
+	sys.FlushAll() // let the repair's re-clean land
+	if err := sys.SSD().VerifyPage(pages[0]); err != nil {
+		t.Fatalf("page still corrupt after scrub repair: %v", err)
+	}
+	rep := sys.IntegrityReport()
+	if rep.Scrub.Detections != 1 || rep.Scrub.Repairs != 1 || len(rep.Quarantined) != 0 {
+		t.Fatalf("integrity report %+v", rep)
+	}
+	if rep.VerifyFailures == 0 || rep.VerifyChecks < rep.VerifyFailures {
+		t.Fatalf("device verify counters %d/%d", rep.VerifyChecks, rep.VerifyFailures)
+	}
+	if err := sys.VerifyDurability(); err != nil {
+		t.Fatalf("durability after repair: %v", err)
+	}
+}
+
+// TestFacadeBackgroundScrubberDefaultOn: the scrubber runs by default
+// and DisableScrubber turns it off.
+func TestFacadeBackgroundScrubberDefaultOn(t *testing.T) {
+	sys := newTestSystem(t, Config{})
+	if !sys.Scrubber().Running() {
+		t.Fatal("background scrubber not running by default")
+	}
+	sys.Close()
+	if sys.Scrubber().Running() {
+		t.Fatal("scrubber still running after Close")
+	}
+	off := newTestSystem(t, Config{DisableScrubber: true})
+	defer off.Close()
+	if off.Scrubber().Running() {
+		t.Fatal("DisableScrubber left the scrubber running")
+	}
+}
+
+// TestFacadeRecoverQuarantinesCorruption: a corruption the scrubber
+// never got to is caught at Recover — the page is quarantined and
+// reported, never restored as plausible good bytes.
+func TestFacadeRecoverQuarantinesCorruption(t *testing.T) {
+	sys := newTestSystem(t, Config{DisableScrubber: true})
+	m, err := sys.Map("heap", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteAt(bytes.Repeat([]byte{0x77}, 200), 2*4096); err != nil {
+		t.Fatal(err)
+	}
+	sys.Pump()
+	report := sys.SimulatePowerFailure()
+	if !report.Survived {
+		t.Fatalf("flush did not survive: %+v", report)
+	}
+	pages := sys.SSD().DurablePageList()
+	if len(pages) == 0 {
+		t.Fatal("nothing durable after the flush")
+	}
+	bad := pages[0]
+	sys.SSD().CorruptPage(bad, 123, 0xFF) // rot while powered off
+	ns, rr, err := sys.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ns.Close()
+	integ := rr.Integrity
+	if integ.PagesVerified != len(pages) {
+		t.Fatalf("verified %d pages, want %d", integ.PagesVerified, len(pages))
+	}
+	if len(integ.Quarantined) != 1 || integ.Quarantined[0] != bad {
+		t.Fatalf("integrity report %+v, want page %d quarantined", integ, bad)
+	}
+	if rr.PagesRestored != len(pages)-1 {
+		t.Fatalf("restored %d pages, want %d", rr.PagesRestored, len(pages)-1)
+	}
+	// The quarantined page must not exist in the recovered system: no
+	// durable claim, zeroed NV-DRAM.
+	if _, ok := ns.SSD().Durable(bad); ok {
+		t.Fatal("corrupt page laundered into the recovered system's durable store")
+	}
+	if err := ns.VerifyDurability(); err != nil {
+		t.Fatalf("recovered system durability: %v", err)
+	}
+}
