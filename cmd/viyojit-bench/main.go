@@ -6,7 +6,13 @@
 //
 // Usage:
 //
-//	viyojit-bench [-ops N] [-seed S] [-quick] [-figures 7,8,9,10,ablations]
+//	viyojit-bench [-ops N] [-seed S] [-quick] [-figures 7,8,9,10,ablations,overload]
+//	viyojit-bench -figures overload [-clients N] [-offered-load M1,M2,...] [-deadline D]
+//
+// The "overload" figure drives the concurrent serving front-end
+// (internal/serve) open-loop at multiples of its measured saturation
+// throughput and prints the goodput-vs-offered-load curve with the shed
+// breakdown — the curve must plateau, not collapse.
 //
 // Runs are deterministic for a given seed. -quick reduces the sweep for a
 // fast smoke run.
@@ -28,6 +34,9 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced sweep (fewer workloads, fractions, ops)")
 	figures := flag.String("figures", "7,8,9,10,ablations", "comma-separated figures to regenerate")
 	jsonOut := flag.String("json", "", "also write the sweep data as JSON to this file")
+	clients := flag.Int("clients", 0, "overload: concurrent client goroutines (0 = default 8)")
+	offered := flag.String("offered-load", "", "overload: comma-separated offered-load multipliers of saturation (default 0.25,0.5,1,1.5,2)")
+	deadline := flag.Duration("deadline", 0, "overload: per-request virtual deadline (0 = default 2ms)")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -164,6 +173,35 @@ func main() {
 			fatal(err)
 		}
 		experiments.FprintBatteryRetune(out, retune)
+	}
+
+	if want["overload"] {
+		fmt.Fprintln(out, "Running the overload & shedding curve (closed-loop saturation, then the open-loop sweep)...")
+		ocfg := experiments.OverloadConfig{
+			Seed:     *seed,
+			Clients:  *clients,
+			Deadline: sim.Duration(*deadline),
+		}
+		if *quick {
+			ocfg.OperationCount = 5_000
+			ocfg.Multipliers = []float64{0.5, 1, 2}
+		}
+		if *offered != "" {
+			var ms []float64
+			for _, s := range strings.Split(*offered, ",") {
+				var m float64
+				if _, err := fmt.Sscanf(strings.TrimSpace(s), "%g", &m); err != nil || m <= 0 {
+					fatal(fmt.Errorf("bad -offered-load entry %q", s))
+				}
+				ms = append(ms, m)
+			}
+			ocfg.Multipliers = ms
+		}
+		curve, err := experiments.RunOverloadCurve(ocfg)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.FprintOverload(out, curve)
 	}
 }
 

@@ -1,0 +1,31 @@
+package serve
+
+import "errors"
+
+// The typed rejection taxonomy. Every request the server refuses carries
+// exactly one of these (possibly wrapped), so clients can distinguish
+// "back off and retry" (ErrOverloaded), "retry with a looser deadline"
+// (ErrDeadlineExceeded), "stop writing until the system recovers"
+// (ErrReadOnly), and "the server is gone" (ErrClosed). Match with
+// errors.Is.
+var (
+	// ErrOverloaded means admission control shed the request: the queue
+	// was full, occupancy crossed the low-priority watermark, or the
+	// degradation ladder called for shedding this priority class.
+	ErrOverloaded = errors.New("serve: overloaded, request shed")
+
+	// ErrDeadlineExceeded means the request's virtual-time deadline
+	// passed while it waited in the queue, or a predicted clean-stall
+	// (the dirty set at budget, every admission paying an SSD clean)
+	// would push completion past the deadline. The request was NOT
+	// executed.
+	ErrDeadlineExceeded = errors.New("serve: deadline exceeded")
+
+	// ErrReadOnly means the degradation ladder has writes blocked
+	// (EmergencyFlush or ReadOnly rung); the write was rejected or, if
+	// it raced the escalation, failed with mmu.ErrProtected underneath.
+	ErrReadOnly = errors.New("serve: system is read-only (degradation ladder)")
+
+	// ErrClosed means the server was stopped before the request ran.
+	ErrClosed = errors.New("serve: server closed")
+)

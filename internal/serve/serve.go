@@ -1,0 +1,753 @@
+// Package serve is the concurrent request front-end for the Viyojit
+// core. Everything below it — sim.Clock, sim.Queue, core.Manager,
+// kvstore.Store — is single-goroutine by design, so this package is an
+// actor: one dispatch goroutine owns the whole stack and drains a
+// bounded admission queue that many client goroutines submit into.
+//
+// The front door is where production systems survive overload, so
+// admission is where all the policy lives:
+//
+//   - Bounded queue: occupancy can never exceed Config.MaxQueue; a full
+//     queue sheds with ErrOverloaded instead of building unbounded
+//     backlog.
+//   - Priority + class scheduling: three priorities × two classes
+//     (client traffic vs. scrub/drain/repair background work), served
+//     highest-priority-first, client-before-background within a
+//     priority, FIFO within a bucket.
+//   - Deadline propagation in virtual time: a request's deadline covers
+//     queue wait AND the clean-stall it would pay if admitted while the
+//     dirty set is at budget; a request that cannot make its deadline is
+//     rejected with ErrDeadlineExceeded before any work is wasted.
+//   - Ladder-driven shedding: Degraded sheds low-priority writes first;
+//     EmergencyFlush/ReadOnly reject client writes with ErrReadOnly
+//     while reads keep flowing.
+//   - A watchdog scheduled in virtual time detects a dispatch loop that
+//     pumps events without retiring requests (a clean-retry storm
+//     against a failing SSD) and trips the ladder's emergency flush.
+//
+// Clients never touch the clock or the manager directly: the server
+// publishes virtual now and the health state through atomics, and
+// WaitUntil lets an open-loop client pace its arrivals in virtual time.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"viyojit/internal/core"
+	"viyojit/internal/kvstore"
+	"viyojit/internal/mmu"
+	"viyojit/internal/sim"
+)
+
+// Class separates client traffic from the system's own background work
+// (scrub, drain, repair, stats collection) so admission can prefer the
+// traffic the system exists to serve while never starving remediation.
+type Class uint8
+
+const (
+	// ClassClient is application traffic.
+	ClassClient Class = iota
+	// ClassBackground is system work: scrubs, drains, repairs,
+	// synchronized stats reads.
+	ClassBackground
+)
+
+// Priority orders requests within the admission queue and selects who
+// gets shed first under pressure.
+type Priority uint8
+
+const (
+	// PriorityLow is best-effort traffic: first to shed at the
+	// occupancy watermark and under the Degraded rung.
+	PriorityLow Priority = iota
+	// PriorityNormal is the default.
+	PriorityNormal
+	// PriorityHigh is latency-critical traffic, served first.
+	PriorityHigh
+)
+
+// Exec is the execution context handed to a request's Op on the
+// dispatch goroutine. Everything in it is single-goroutine state that
+// must not escape the Op call.
+type Exec struct {
+	// Store is the KV store the server fronts (nil if the server was
+	// built without one).
+	Store *kvstore.Store
+	// Mgr is the dirty-budget manager.
+	Mgr *core.Manager
+	// Now is the virtual time at which the op started executing.
+	Now sim.Time
+}
+
+// Request is one unit of admission.
+type Request struct {
+	// Class and Priority drive scheduling and shedding; zero values are
+	// ClassClient/PriorityLow — explicitly pick PriorityNormal for
+	// ordinary traffic.
+	Class    Class
+	Priority Priority
+	// Write marks ops that mutate NV-DRAM. Write requests are the ones
+	// the degradation ladder sheds; reads flow on every rung.
+	Write bool
+	// Timeout is the virtual-time deadline measured from admission;
+	// 0 means no deadline. It covers queue wait, predicted clean-stall,
+	// and service time.
+	Timeout sim.Duration
+	// Op runs on the dispatch goroutine. Its return value is delivered
+	// through Result.Value.
+	Op func(Exec) (any, error)
+}
+
+// Result is the outcome of a completed request.
+type Result struct {
+	// Value is whatever the Op returned.
+	Value any
+	// Wait is the virtual time the request spent queued.
+	Wait sim.Duration
+	// Latency is virtual admission-to-completion time.
+	Latency sim.Duration
+}
+
+// Config tunes the server. Zero values select the documented defaults.
+type Config struct {
+	// MaxQueue bounds admission-queue occupancy; a full queue sheds
+	// with ErrOverloaded. 0 selects 256.
+	MaxQueue int
+	// ShedWatermark is the occupancy fraction of MaxQueue above which
+	// PriorityLow requests are shed preemptively. 0 selects 0.75.
+	ShedWatermark float64
+	// OpServiceTime is the fixed virtual service cost charged per
+	// executed request (network, parsing, dispatch around the store).
+	// 0 selects 20 µs, matching the YCSB runner.
+	OpServiceTime sim.Duration
+	// WatchdogInterval is the virtual period of the stall detector.
+	// 0 selects 1 ms (the manager's epoch).
+	WatchdogInterval sim.Duration
+	// WatchdogStrikes is how many consecutive no-progress intervals
+	// (non-empty queue, no request retired) trip the emergency flush.
+	// 0 selects 8.
+	WatchdogStrikes int
+	// DisableWatchdog turns the stall detector off.
+	DisableWatchdog bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 256
+	}
+	if c.ShedWatermark == 0 {
+		c.ShedWatermark = 0.75
+	}
+	if c.OpServiceTime == 0 {
+		c.OpServiceTime = 20 * sim.Microsecond
+	}
+	if c.WatchdogInterval == 0 {
+		c.WatchdogInterval = sim.Millisecond
+	}
+	if c.WatchdogStrikes == 0 {
+		c.WatchdogStrikes = 8
+	}
+	return c
+}
+
+// Stats are the server's counters. Every Submit resolves into exactly
+// one of Completed, Failed, ShedOverload, ShedDeadline, ShedReadOnly,
+// or Cancelled.
+type Stats struct {
+	// Submitted counts every Submit call with a valid Op.
+	Submitted uint64
+	// Completed counts ops that executed and returned nil error.
+	Completed uint64
+	// Failed counts ops that executed and returned a non-typed error.
+	Failed uint64
+	// ShedOverload / ShedDeadline / ShedReadOnly count the typed
+	// rejections (at admission or at dequeue).
+	ShedOverload uint64
+	ShedDeadline uint64
+	ShedReadOnly uint64
+	// Cancelled counts requests abandoned via context before a result
+	// was delivered.
+	Cancelled uint64
+	// StallPredicted counts the ShedDeadline subset rejected by the
+	// clean-stall predictor rather than observed queue wait.
+	StallPredicted uint64
+	// WatchdogTrips counts emergency flushes the stall detector forced.
+	WatchdogTrips uint64
+	// MaxQueueObserved is the high-water mark of queue occupancy.
+	MaxQueueObserved int
+}
+
+// Shed returns the total typed rejections.
+func (s Stats) Shed() uint64 { return s.ShedOverload + s.ShedDeadline + s.ShedReadOnly }
+
+type outcome struct {
+	res Result
+	err error
+}
+
+type item struct {
+	req        Request
+	enqueuedAt sim.Time
+	deadline   sim.Time // 0 = none
+	cancelled  atomic.Bool
+	done       chan outcome // buffered(1): dispatch never blocks on it
+}
+
+type waiter struct {
+	target sim.Time
+	ch     chan error
+}
+
+// numBuckets = 3 priorities × 2 classes; lower index pops first.
+const numBuckets = 6
+
+func bucketOf(r Request) int {
+	b := int(PriorityHigh-r.Priority) * 2
+	if r.Class == ClassBackground {
+		b++
+	}
+	return b
+}
+
+// Server is the actor front-end. Construct with New, wire with Start,
+// submit from any goroutine.
+type Server struct {
+	clock  *sim.Clock
+	events *sim.Queue
+	mgr    *core.Manager
+	store  *kvstore.Store
+	cfg    Config
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	buckets  [numBuckets][]*item
+	waiters  []*waiter
+	started  bool
+	stopping bool
+
+	// Mirrors published for lock-free reading by clients and watchdog.
+	occupancy atomic.Int64
+	pops      atomic.Uint64 // dequeues; the watchdog's progress signal
+	pubNow    atomic.Int64  // sim.Time
+	pubState  atomic.Int32  // core.HealthState
+
+	// Watchdog state, touched only on the dispatch goroutine.
+	wdEvent  *sim.Event
+	wdStrike int
+	wdLast   uint64
+	wdDead   atomic.Bool // stops rescheduling after Stop
+	wdTrip   atomic.Bool // trip requested; executed at the next request boundary
+
+	loopDone chan struct{}
+
+	stSubmitted, stCompleted, stFailed atomic.Uint64
+	stShedOverload, stShedDeadline     atomic.Uint64
+	stShedReadOnly, stCancelled        atomic.Uint64
+	stStallPredicted, stWatchdogTrips  atomic.Uint64
+	stMaxQueue                         atomic.Int64
+}
+
+// New builds a server over an assembled stack. store may be nil when
+// ops only need the manager. The server takes ownership of the clock
+// and event queue once Start is called: no other goroutine may pump,
+// advance time, or touch the manager until Stop returns.
+func New(clock *sim.Clock, events *sim.Queue, mgr *core.Manager, store *kvstore.Store, cfg Config) (*Server, error) {
+	if clock == nil || events == nil || mgr == nil {
+		return nil, fmt.Errorf("serve: clock, events, and manager are required")
+	}
+	cfg = cfg.withDefaults()
+	if cfg.MaxQueue < 1 {
+		return nil, fmt.Errorf("serve: MaxQueue %d must be positive", cfg.MaxQueue)
+	}
+	if cfg.ShedWatermark <= 0 || cfg.ShedWatermark > 1 {
+		return nil, fmt.Errorf("serve: ShedWatermark %v outside (0,1]", cfg.ShedWatermark)
+	}
+	s := &Server{
+		clock:    clock,
+		events:   events,
+		mgr:      mgr,
+		store:    store,
+		cfg:      cfg,
+		loopDone: make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s, nil
+}
+
+// Config returns the effective configuration (defaults applied).
+func (s *Server) Config() Config { return s.cfg }
+
+// Start launches the dispatch goroutine and the watchdog. It errors if
+// called twice.
+func (s *Server) Start() error {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return fmt.Errorf("serve: already started")
+	}
+	s.started = true
+	s.mu.Unlock()
+	s.publish()
+	if !s.cfg.DisableWatchdog {
+		s.wdLast = s.pops.Load()
+		s.wdEvent = s.events.Schedule(s.clock.Now().Add(s.cfg.WatchdogInterval), s.watchdogTick)
+	}
+	go s.loop()
+	return nil
+}
+
+// Stop shuts the server down: queued requests are rejected with
+// ErrClosed, waiters wake with ErrClosed, and the dispatch goroutine
+// exits. Stop blocks until the loop is gone and is idempotent.
+func (s *Server) Stop() {
+	s.mu.Lock()
+	if !s.started {
+		s.started, s.stopping = true, true // never started: nothing to join
+		s.mu.Unlock()
+		close(s.loopDone)
+		return
+	}
+	if s.stopping {
+		s.mu.Unlock()
+		<-s.loopDone
+		return
+	}
+	s.stopping = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	<-s.loopDone
+	// The dispatch goroutine is gone; this goroutine is now the sole
+	// owner of the event queue, so cancelling the watchdog is safe.
+	s.wdDead.Store(true)
+	if s.wdEvent != nil {
+		s.events.Cancel(s.wdEvent)
+	}
+}
+
+// Now returns the published virtual time — safe from any goroutine,
+// possibly a beat behind the dispatch loop's live clock.
+func (s *Server) Now() sim.Time { return sim.Time(s.pubNow.Load()) }
+
+// HealthState returns the published degradation-ladder rung.
+func (s *Server) HealthState() core.HealthState { return core.HealthState(s.pubState.Load()) }
+
+// QueueLen returns current admission-queue occupancy.
+func (s *Server) QueueLen() int { return int(s.occupancy.Load()) }
+
+// Stats returns a snapshot of the counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Submitted:        s.stSubmitted.Load(),
+		Completed:        s.stCompleted.Load(),
+		Failed:           s.stFailed.Load(),
+		ShedOverload:     s.stShedOverload.Load(),
+		ShedDeadline:     s.stShedDeadline.Load(),
+		ShedReadOnly:     s.stShedReadOnly.Load(),
+		Cancelled:        s.stCancelled.Load(),
+		StallPredicted:   s.stStallPredicted.Load(),
+		WatchdogTrips:    s.stWatchdogTrips.Load(),
+		MaxQueueObserved: int(s.stMaxQueue.Load()),
+	}
+}
+
+// Submit admits req and blocks until it completes, is shed, or ctx is
+// done. Rejections are typed: match with errors.Is against
+// ErrOverloaded, ErrDeadlineExceeded, ErrReadOnly, ErrClosed.
+func (s *Server) Submit(ctx context.Context, req Request) (Result, error) {
+	h, err := s.SubmitAsync(req)
+	if err != nil {
+		return Result{}, err
+	}
+	return h.Wait(ctx)
+}
+
+// Handle is an in-flight request admitted by SubmitAsync.
+type Handle struct {
+	s  *Server
+	it *item
+}
+
+// Wait blocks until the request completes, is shed at dequeue, or ctx is
+// done. It must be called exactly once.
+func (h *Handle) Wait(ctx context.Context) (Result, error) {
+	select {
+	case out := <-h.it.done:
+		return out.res, out.err
+	case <-ctx.Done():
+		h.it.cancelled.Store(true)
+		h.s.stCancelled.Add(1)
+		return Result{}, ctx.Err()
+	}
+}
+
+// SubmitAsync runs admission control synchronously on the calling
+// goroutine — every admission rejection (queue full, watermark, ladder)
+// returns here, typed — and enqueues the request without waiting for it
+// to execute. Open-loop load generators need this split: the pacing
+// goroutine must have the arrival *enqueued* before it sleeps again,
+// or an idle dispatch loop advances virtual time past the next arrival
+// while the submission is still in flight on some other goroutine.
+func (s *Server) SubmitAsync(req Request) (*Handle, error) {
+	if req.Op == nil {
+		return nil, fmt.Errorf("serve: request has no Op")
+	}
+	if req.Priority > PriorityHigh {
+		return nil, fmt.Errorf("serve: invalid priority %d", req.Priority)
+	}
+	s.stSubmitted.Add(1)
+	now := sim.Time(s.pubNow.Load())
+	state := core.HealthState(s.pubState.Load())
+
+	s.mu.Lock()
+	if s.stopping {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	occ := int(s.occupancy.Load())
+	if occ >= s.cfg.MaxQueue {
+		s.mu.Unlock()
+		s.stShedOverload.Add(1)
+		return nil, fmt.Errorf("%w: queue full (%d)", ErrOverloaded, s.cfg.MaxQueue)
+	}
+	if req.Priority == PriorityLow && float64(occ) >= s.cfg.ShedWatermark*float64(s.cfg.MaxQueue) {
+		s.mu.Unlock()
+		s.stShedOverload.Add(1)
+		return nil, fmt.Errorf("%w: low-priority shed at watermark", ErrOverloaded)
+	}
+	if req.Write && req.Class == ClassClient {
+		switch {
+		case state >= core.StateEmergencyFlush:
+			s.mu.Unlock()
+			s.stShedReadOnly.Add(1)
+			return nil, fmt.Errorf("%w: ladder at %v", ErrReadOnly, state)
+		case state == core.StateDegraded && req.Priority == PriorityLow:
+			s.mu.Unlock()
+			s.stShedOverload.Add(1)
+			return nil, fmt.Errorf("%w: low-priority write shed while %v", ErrOverloaded, state)
+		}
+	}
+	it := &item{req: req, enqueuedAt: now, done: make(chan outcome, 1)}
+	if req.Timeout > 0 {
+		it.deadline = now.Add(req.Timeout)
+	}
+	s.buckets[bucketOf(req)] = append(s.buckets[bucketOf(req)], it)
+	n := s.occupancy.Add(1)
+	for {
+		prev := s.stMaxQueue.Load()
+		if n <= prev || s.stMaxQueue.CompareAndSwap(prev, n) {
+			break
+		}
+	}
+	s.cond.Signal()
+	s.mu.Unlock()
+	return &Handle{s: s, it: it}, nil
+}
+
+// WaitUntil blocks the calling goroutine until virtual time reaches t —
+// the open-loop pacing primitive. When the dispatch loop is idle it
+// advances the clock to the earliest waiter's target, so sleeping
+// clients are what moves virtual time forward on an unloaded system.
+func (s *Server) WaitUntil(t sim.Time) error {
+	if sim.Time(s.pubNow.Load()) >= t {
+		return nil
+	}
+	s.mu.Lock()
+	if s.stopping {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if sim.Time(s.pubNow.Load()) >= t {
+		s.mu.Unlock()
+		return nil
+	}
+	w := &waiter{target: t, ch: make(chan error, 1)}
+	s.waiters = append(s.waiters, w)
+	s.cond.Signal()
+	s.mu.Unlock()
+	return <-w.ch
+}
+
+// loop is the dispatch goroutine: the sole owner of the clock, event
+// queue, manager, and store from Start to Stop.
+func (s *Server) loop() {
+	defer close(s.loopDone)
+	for {
+		s.mu.Lock()
+		for {
+			if s.stopping {
+				s.failAllLocked()
+				s.mu.Unlock()
+				return
+			}
+			if it := s.popLocked(); it != nil {
+				s.mu.Unlock()
+				s.serveOne(it)
+				break
+			}
+			if t, ok := s.earliestWaiterLocked(); ok {
+				s.mu.Unlock()
+				s.advanceTo(t)
+				break
+			}
+			s.cond.Wait()
+		}
+		// A watchdog trip requested mid-op runs here, at a request
+		// boundary, where the manager is quiescent.
+		s.maybeTrip()
+		// Wake any waiter whose target the last op or advance passed.
+		s.mu.Lock()
+		s.wakeWaitersLocked(nil)
+		s.mu.Unlock()
+	}
+}
+
+func (s *Server) popLocked() *item {
+	for b := 0; b < numBuckets; b++ {
+		q := s.buckets[b]
+		if len(q) == 0 {
+			continue
+		}
+		it := q[0]
+		q[0] = nil
+		s.buckets[b] = q[1:]
+		if len(s.buckets[b]) == 0 {
+			s.buckets[b] = nil // let the backing array go
+		}
+		s.occupancy.Add(-1)
+		s.pops.Add(1)
+		return it
+	}
+	return nil
+}
+
+func (s *Server) earliestWaiterLocked() (sim.Time, bool) {
+	var best sim.Time
+	found := false
+	for _, w := range s.waiters {
+		if !found || w.target < best {
+			best, found = w.target, true
+		}
+	}
+	return best, found
+}
+
+// wakeWaitersLocked releases every waiter whose target has been reached
+// (or all of them with err non-nil, at shutdown).
+func (s *Server) wakeWaitersLocked(err error) {
+	now := sim.Time(s.pubNow.Load())
+	kept := s.waiters[:0]
+	for _, w := range s.waiters {
+		if err != nil {
+			w.ch <- err
+		} else if w.target <= now {
+			w.ch <- nil
+		} else {
+			kept = append(kept, w)
+			continue
+		}
+	}
+	for i := len(kept); i < len(s.waiters); i++ {
+		s.waiters[i] = nil
+	}
+	s.waiters = kept
+}
+
+// failAllLocked rejects everything still queued and wakes all waiters
+// with ErrClosed — the shutdown path.
+func (s *Server) failAllLocked() {
+	for b := range s.buckets {
+		for _, it := range s.buckets[b] {
+			if !it.cancelled.Load() {
+				it.done <- outcome{err: ErrClosed}
+			}
+			s.occupancy.Add(-1)
+		}
+		s.buckets[b] = nil
+	}
+	s.wakeWaitersLocked(ErrClosed)
+}
+
+// publish refreshes the atomic mirrors clients read.
+func (s *Server) publish() {
+	s.pubNow.Store(int64(s.clock.Now()))
+	s.pubState.Store(int32(s.mgr.HealthState()))
+}
+
+// pump delivers pending background events (epoch ticks, IO completions,
+// health-monitor ticks, the watchdog) and republishes.
+func (s *Server) pump() {
+	s.events.RunUntil(s.clock, s.clock.Now())
+	s.publish()
+}
+
+// advanceTo moves virtual time to t, firing everything due on the way —
+// "the system is idle until the next client arrival".
+func (s *Server) advanceTo(t sim.Time) {
+	s.events.RunUntil(s.clock, t)
+	s.publish()
+}
+
+// stallEstimate predicts the synchronous clean time a write admitted
+// right now would pay: with the dirty set at (or drained below) the
+// effective budget, the fault handler cleans one victim per admission,
+// so the stall is at least one page's SSD write; during a budget drain
+// it is the full excess.
+func (s *Server) stallEstimate() sim.Duration {
+	excess := s.mgr.DirtyCount() - s.mgr.EffectiveDirtyBudget() + 1
+	if excess <= 0 {
+		return 0
+	}
+	dev := s.mgr.SSD()
+	bw := dev.MeasuredWriteBandwidth()
+	if bw <= 0 {
+		bw = dev.EffectiveWriteBandwidth()
+	}
+	if bw <= 0 {
+		bw = 1
+	}
+	cfg := dev.Config()
+	perPage := cfg.PerIOLatency + sim.Duration(int64(cfg.PageSize)*int64(sim.Second)/bw)
+	return sim.Duration(excess) * perPage
+}
+
+// serveOne applies the dequeue-time policy and executes the op.
+func (s *Server) serveOne(it *item) {
+	if it.cancelled.Load() {
+		return // client already gone; drop silently
+	}
+	now := s.clock.Now()
+	if it.deadline != 0 && now > it.deadline {
+		s.stShedDeadline.Add(1)
+		it.done <- outcome{err: fmt.Errorf("%w: queued %v past deadline", ErrDeadlineExceeded, now.Sub(it.deadline))}
+		return
+	}
+	if it.req.Write && it.req.Class == ClassClient {
+		// Re-check the ladder with the live state: it may have
+		// escalated while the request was queued.
+		if s.mgr.WritesBlocked() {
+			s.stShedReadOnly.Add(1)
+			it.done <- outcome{err: fmt.Errorf("%w: ladder at %v", ErrReadOnly, s.mgr.HealthState())}
+			return
+		}
+		if s.mgr.HealthState() == core.StateDegraded && it.req.Priority == PriorityLow {
+			s.stShedOverload.Add(1)
+			it.done <- outcome{err: fmt.Errorf("%w: low-priority write shed while Degraded", ErrOverloaded)}
+			return
+		}
+		if it.deadline != 0 {
+			if stall := s.stallEstimate(); stall > 0 && now.Add(stall+s.cfg.OpServiceTime) > it.deadline {
+				s.stShedDeadline.Add(1)
+				s.stStallPredicted.Add(1)
+				it.done <- outcome{err: fmt.Errorf("%w: predicted clean-stall %v misses deadline", ErrDeadlineExceeded, stall)}
+				return
+			}
+		}
+	}
+	wait := now.Sub(it.enqueuedAt)
+	if wait < 0 {
+		wait = 0
+	}
+	s.clock.Advance(s.cfg.OpServiceTime)
+	val, err := it.req.Op(Exec{Store: s.store, Mgr: s.mgr, Now: s.clock.Now()})
+	s.pump()
+	if err != nil {
+		// A write racing a ladder escalation surfaces mmu.ErrProtected
+		// from deep inside the store; give the client the typed error.
+		if errors.Is(err, mmu.ErrProtected) {
+			err = errors.Join(ErrReadOnly, err)
+			s.stShedReadOnly.Add(1)
+		} else {
+			s.stFailed.Add(1)
+		}
+		it.done <- outcome{err: err}
+		return
+	}
+	s.stCompleted.Add(1)
+	lat := s.clock.Now().Sub(it.enqueuedAt)
+	if lat < 0 {
+		lat = 0
+	}
+	it.done <- outcome{res: Result{Value: val, Wait: wait, Latency: lat}}
+}
+
+// watchdogTick runs as a virtual-time event on the dispatch goroutine
+// (events are only ever pumped there), so it fires even while the loop
+// is "stuck" inside a virtually-blocking clean — exactly the stall it
+// exists to catch: a non-empty queue across WatchdogStrikes intervals
+// with no request retired.
+func (s *Server) watchdogTick(now sim.Time) {
+	if s.wdDead.Load() {
+		return
+	}
+	pops := s.pops.Load()
+	if s.occupancy.Load() > 0 && pops == s.wdLast {
+		s.wdStrike++
+		if s.wdStrike == s.cfg.WatchdogStrikes {
+			// Request the trip; the dispatch loop executes it at the next
+			// request boundary. The tick itself may be firing from a Step
+			// nested deep inside the manager's own cleaning machinery
+			// (e.g. an SSD submit stall), where re-entering the manager
+			// with EnterEmergencyFlush would corrupt its in-flight
+			// accounting — so the handler only ever sets a flag.
+			s.wdTrip.Store(true)
+		}
+	} else {
+		s.wdStrike = 0
+	}
+	s.wdLast = pops
+	s.wdEvent = s.events.Schedule(now.Add(s.cfg.WatchdogInterval), s.watchdogTick)
+}
+
+// maybeTrip executes a watchdog-requested ladder trip. It runs on the
+// dispatch goroutine between requests — the only point where calling
+// into the manager's drain machinery is safe. Blocking writes and
+// force-draining the dirty set frees the capacity the stalled queue was
+// waiting on; if even the bounded emergency drain cannot empty the set,
+// the ladder escalates to ReadOnly.
+func (s *Server) maybeTrip() {
+	if !s.wdTrip.Swap(false) {
+		return
+	}
+	s.stWatchdogTrips.Add(1)
+	if remaining := s.mgr.EnterEmergencyFlush(); remaining > 0 {
+		s.mgr.EnterReadOnly()
+	}
+	s.publish()
+}
+
+// Tripped reports whether the watchdog has ever forced an emergency
+// flush.
+func (s *Server) Tripped() bool { return s.stWatchdogTrips.Load() > 0 }
+
+// ManagerStats reads the manager's counters on the dispatch goroutine —
+// the race-free way for a concurrent observer to sample them while the
+// server owns the core.
+func (s *Server) ManagerStats(ctx context.Context) (core.Stats, error) {
+	res, err := s.Submit(ctx, Request{
+		Class:    ClassBackground,
+		Priority: PriorityHigh,
+		Op:       func(e Exec) (any, error) { return e.Mgr.Stats(), nil },
+	})
+	if err != nil {
+		return core.Stats{}, err
+	}
+	return res.Value.(core.Stats), nil
+}
+
+// ManagerSamples reads the dirty-footprint sample ring on the dispatch
+// goroutine (see ManagerStats).
+func (s *Server) ManagerSamples(ctx context.Context) ([]core.Sample, error) {
+	res, err := s.Submit(ctx, Request{
+		Class:    ClassBackground,
+		Priority: PriorityHigh,
+		Op:       func(e Exec) (any, error) { return e.Mgr.Samples(), nil },
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Value.([]core.Sample), nil
+}

@@ -22,6 +22,11 @@ type Queue struct {
 	seq      uint64
 	fired    uint64
 	fireHook func(step uint64, at Time)
+	// dispatching is true while an event handler is on the stack. It is
+	// the reentrancy guard: a handler may virtually block with Step (the
+	// cleanOneSync idiom), but calling RunUntil or Drain from inside a
+	// handler would silently recurse the whole loop — always a bug.
+	dispatching bool
 }
 
 // Fired returns the number of events that have fired so far — the
@@ -77,7 +82,18 @@ func (q *Queue) NextAt() (Time, bool) {
 // the clock to each event's time before invoking it. Events may schedule
 // further events; newly scheduled events at or before t also fire. After
 // RunUntil returns, the clock is at max(t, clock time on entry).
+//
+// RunUntil must not be called from inside an event handler: the nested
+// loop would fire events the outer loop believes are still pending and
+// recurse arbitrarily deep under load. A handler that needs to virtually
+// block on a future event uses Step instead (which remains legal at any
+// depth). Reentrant calls panic deterministically.
 func (q *Queue) RunUntil(c *Clock, t Time) {
+	if q.dispatching {
+		panic("sim: Queue.RunUntil reentered from inside an event handler; use Step to virtually block")
+	}
+	q.dispatching = true
+	defer func() { q.dispatching = false }()
 	for len(q.events) > 0 && q.events[0].At <= t {
 		if q.fireHook != nil {
 			q.fireHook(q.fired+1, q.events[0].At)
@@ -97,6 +113,8 @@ func (q *Queue) RunUntil(c *Clock, t Time) {
 // its time, and reports whether an event fired. It is the building block
 // for "virtually blocking" callers that must wait for the next completion
 // while letting unrelated events (epoch ticks, other IOs) fire in order.
+// Unlike RunUntil it is legal from inside an event handler — that nesting
+// IS the virtual-blocking idiom — so it saves and restores the guard.
 func (q *Queue) Step(c *Clock) bool {
 	if len(q.events) == 0 {
 		return false
@@ -111,13 +129,24 @@ func (q *Queue) Step(c *Clock) bool {
 	fn := e.Fn
 	e.Fn = nil
 	c.AdvanceTo(at)
+	prev := q.dispatching
+	q.dispatching = true
+	defer func() { q.dispatching = prev }()
 	fn(at)
 	return true
 }
 
+// Dispatching reports whether an event handler is currently on the stack
+// (the state the reentrancy guard tracks).
+func (q *Queue) Dispatching() bool { return q.dispatching }
+
 // Drain fires every pending event in time order, advancing the clock along
-// the way, until the queue is empty.
+// the way, until the queue is empty. Like RunUntil, it must not be called
+// from inside an event handler.
 func (q *Queue) Drain(c *Clock) {
+	if q.dispatching {
+		panic("sim: Queue.Drain reentered from inside an event handler; use Step to virtually block")
+	}
 	for len(q.events) > 0 {
 		at := q.events[0].At
 		q.RunUntil(c, at)

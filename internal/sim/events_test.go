@@ -193,6 +193,69 @@ func TestQueueFireHookPanicLeavesEventQueued(t *testing.T) {
 	}
 }
 
+// Reentering RunUntil or Drain from inside a handler must panic
+// deterministically instead of recursing the dispatch loop, while Step —
+// the virtual-blocking idiom used by cleanOneSync/emergencyDrain — stays
+// legal at any depth, including after a crash-point panic unwound the loop.
+func TestQueueRunUntilReentryPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s reentered from a handler did not panic", name)
+			}
+		}()
+		fn()
+	}
+
+	q := NewQueue()
+	c := NewClock()
+	q.Schedule(10, func(Time) {
+		if !q.Dispatching() {
+			t.Error("Dispatching() = false inside a handler")
+		}
+		mustPanic("RunUntil", func() { q.RunUntil(c, 100) })
+		mustPanic("Drain", func() { q.Drain(c) })
+	})
+	q.RunUntil(c, 100)
+	if q.Dispatching() {
+		t.Fatal("Dispatching() stuck true after RunUntil returned")
+	}
+
+	// Step from inside a handler is the sanctioned way to virtually block.
+	q2 := NewQueue()
+	c2 := NewClock()
+	var order []Time
+	q2.Schedule(20, func(Time) { order = append(order, 20) })
+	q2.Schedule(10, func(now Time) {
+		order = append(order, 10)
+		if !q2.Step(c2) { // waits for the 20-event
+			t.Error("nested Step fired nothing")
+		}
+		mustPanic("RunUntil (under nested Step)", func() { q2.RunUntil(c2, 100) })
+	})
+	q2.RunUntil(c2, 100)
+	if len(order) != 2 || order[0] != 10 || order[1] != 20 {
+		t.Fatalf("nested Step order = %v, want [10 20]", order)
+	}
+
+	// A panic escaping RunUntil (the crash-point mechanism) must not leave
+	// the guard stuck, or recovery could never pump events again.
+	q3 := NewQueue()
+	c3 := NewClock()
+	q3.SetFireHook(func(uint64, Time) { panic("power failure") })
+	q3.Schedule(10, func(Time) {})
+	func() {
+		defer func() { recover() }()
+		q3.RunUntil(c3, 100)
+	}()
+	if q3.Dispatching() {
+		t.Fatal("guard stuck after panic unwound RunUntil")
+	}
+	q3.SetFireHook(nil)
+	q3.RunUntil(c3, 100) // must not panic
+}
+
 // Property: for any set of scheduled times, events fire in sorted order and
 // the count matches.
 func TestQueueOrderingProperty(t *testing.T) {

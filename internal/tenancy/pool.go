@@ -72,8 +72,15 @@ func NewPool(clock *sim.Clock, events *sim.Queue, totalPages int, period sim.Dur
 // Stats returns a snapshot of the counters.
 func (p *Pool) Stats() Stats { return p.stats }
 
-// Tenants returns the attached tenants.
-func (p *Pool) Tenants() []*Tenant { return p.tenants }
+// Tenants returns the attached tenants. The slice is a copy: the pool
+// mutates its own list on Attach/Detach, and handing out the backing
+// array would let an observer iterate it while a rebalance or detach
+// rewrites it underneath.
+func (p *Pool) Tenants() []*Tenant {
+	out := make([]*Tenant, len(p.tenants))
+	copy(out, p.tenants)
+	return out
+}
 
 // Attach adds a tenant and re-grants the pool's budget equally across all
 // tenants (respecting floors). The tenant's manager budget is overwritten

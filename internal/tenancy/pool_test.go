@@ -201,3 +201,33 @@ func TestDetach(t *testing.T) {
 		t.Fatal("double detach succeeded")
 	}
 }
+
+func TestTenantsReturnsCopy(t *testing.T) {
+	clock := sim.NewClock()
+	events := sim.NewQueue()
+	p, _ := NewPool(clock, events, 64, 0)
+	a := newTenv(t, clock, events, 64, 8)
+	b := newTenv(t, clock, events, 64, 8)
+	ta, _ := p.Attach("a", a.mgr, 4)
+	p.Attach("b", b.mgr, 4)
+
+	// An observer's snapshot must be insulated from pool mutations in
+	// both directions: scribbling on the snapshot cannot corrupt the
+	// pool, and a detach cannot rewrite the snapshot underneath the
+	// observer (the pool's Detach compacts its own slice in place).
+	snap := p.Tenants()
+	snap[0] = nil
+	if got := p.Tenants()[0]; got == nil || got.Name != "a" {
+		t.Fatal("mutating the returned slice reached into the pool")
+	}
+	snap = p.Tenants()
+	if err := p.Detach(ta); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) != 2 || snap[0] == nil || snap[1] == nil {
+		t.Fatalf("detach rewrote an observer's snapshot: %v", snap)
+	}
+	if snap[0].Name != "a" || snap[1].Name != "b" {
+		t.Fatalf("snapshot order changed: %q, %q", snap[0].Name, snap[1].Name)
+	}
+}

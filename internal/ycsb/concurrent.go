@@ -1,0 +1,293 @@
+package ycsb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"viyojit/internal/dist"
+	"viyojit/internal/serve"
+	"viyojit/internal/sim"
+)
+
+// ConcurrentConfig parameterises a concurrent-client run against the
+// serving front-end (internal/serve). The embedded Config supplies the
+// workload, record/operation counts, and seed; pacing and deadlines are
+// the concurrent knobs.
+type ConcurrentConfig struct {
+	Config
+	// Clients is the number of client goroutines; 0 selects 4.
+	Clients int
+	// Deadline is the per-request virtual-time deadline (queue wait +
+	// predicted clean-stall + service); 0 means none.
+	Deadline sim.Duration
+	// OfferedLoad is the aggregate open-loop arrival rate in operations
+	// per virtual second across all clients. 0 runs closed-loop: each
+	// client issues its next op when the previous resolves. In open
+	// loop, arrivals are independent of completions (a slow system does
+	// NOT slow the clients down), which is what exposes overload.
+	OfferedLoad float64
+	// LowPriorityFraction of requests are tagged PriorityLow, the class
+	// admission sheds first; the rest are PriorityNormal.
+	LowPriorityFraction float64
+}
+
+func (c ConcurrentConfig) withDefaults() ConcurrentConfig {
+	c.Config = c.Config.withDefaults()
+	if c.Clients == 0 {
+		c.Clients = 4
+	}
+	return c
+}
+
+// ConcurrentResult aggregates a concurrent run: goodput, the shed
+// breakdown by typed error, and latency quantiles of the operations
+// that completed.
+type ConcurrentResult struct {
+	Workload   string
+	Clients    int
+	Offered    float64 // ops per virtual second; 0 = closed loop
+	Operations int     // attempted
+
+	Completed    int
+	ShedOverload int
+	ShedDeadline int
+	ShedReadOnly int
+	Cancelled    int
+	OtherErrors  int
+
+	Elapsed sim.Duration
+	// Goodput is completed operations per virtual second — the metric
+	// that must plateau (not collapse) past saturation.
+	Goodput          float64
+	P50, P99         sim.Duration // latency of completed ops
+	MaxQueueObserved int
+}
+
+// Shed returns the total typed rejections.
+func (r ConcurrentResult) Shed() int { return r.ShedOverload + r.ShedDeadline + r.ShedReadOnly }
+
+// GoodputKOps returns goodput in K-ops/sec.
+func (r ConcurrentResult) GoodputKOps() float64 { return r.Goodput / 1000 }
+
+// clientState is one goroutine's accounting; sub-goroutines spawned for
+// open-loop arrivals share it under mu.
+type clientState struct {
+	mu        sync.Mutex
+	hist      Histogram
+	completed int
+	overload  int
+	deadline  int
+	readonly  int
+	cancelled int
+	other     int
+}
+
+func (c *clientState) record(res serve.Result, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch {
+	case err == nil:
+		c.completed++
+		c.hist.Record(res.Latency)
+	case errors.Is(err, serve.ErrOverloaded):
+		c.overload++
+	case errors.Is(err, serve.ErrDeadlineExceeded):
+		c.deadline++
+	case errors.Is(err, serve.ErrReadOnly):
+		c.readonly++
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		c.cancelled++
+	default:
+		c.other++
+	}
+}
+
+// RunConcurrent drives the serving front-end with cfg.Clients client
+// goroutines. The store behind srv must already be loaded (Load) and
+// srv must be started. Closed-loop runs (OfferedLoad 0) measure the
+// system's saturation throughput; open-loop runs measure goodput and
+// shedding at a fixed offered load.
+func RunConcurrent(cfg ConcurrentConfig, srv *serve.Server) (ConcurrentResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Workload.Name == WorkloadE.Name {
+		return ConcurrentResult{}, ErrScansUnsupported
+	}
+	if err := cfg.Workload.Validate(); err != nil {
+		return ConcurrentResult{}, err
+	}
+	if cfg.OperationCount <= 0 {
+		return ConcurrentResult{}, fmt.Errorf("ycsb: OperationCount %d must be positive", cfg.OperationCount)
+	}
+	if cfg.OfferedLoad < 0 {
+		return ConcurrentResult{}, fmt.Errorf("ycsb: OfferedLoad %v must be non-negative", cfg.OfferedLoad)
+	}
+
+	records := int64(cfg.RecordCount)
+	var nextInsert atomic.Int64
+	nextInsert.Store(records)
+	var version atomic.Uint64
+
+	// Per-client arrival period for open loop; clients are staggered a
+	// fraction of a period apart so arrivals interleave.
+	var interarrival sim.Duration
+	if cfg.OfferedLoad > 0 {
+		interarrival = sim.Duration(float64(sim.Second) * float64(cfg.Clients) / cfg.OfferedLoad)
+		if interarrival < 1 {
+			interarrival = 1
+		}
+	}
+
+	rootRNG := sim.NewRNG(cfg.Seed)
+	states := make([]*clientState, cfg.Clients)
+	clientRNGs := make([]*sim.RNG, cfg.Clients)
+	for i := range states {
+		states[i] = &clientState{}
+		clientRNGs[i] = rootRNG.Fork()
+	}
+
+	startNow := srv.Now()
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		nOps := cfg.OperationCount / cfg.Clients
+		if c < cfg.OperationCount%cfg.Clients {
+			nOps++
+		}
+		if nOps == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(c, nOps int) {
+			defer wg.Done()
+			st := states[c]
+			rng := clientRNGs[c]
+			chooser, latest, err := newChooser(rng, cfg.Workload, records)
+			if err != nil {
+				st.record(serve.Result{}, err)
+				return
+			}
+			ops := &opChooser{rng: rng.Fork(), w: cfg.Workload}
+			prioRNG := rng.Fork()
+
+			var arrivals sync.WaitGroup
+			next := startNow.Add(sim.Duration(int64(interarrival) * int64(c) / int64(cfg.Clients)))
+			for op := 0; op < nOps; op++ {
+				if interarrival > 0 {
+					if err := srv.WaitUntil(next); err != nil {
+						st.record(serve.Result{}, err)
+						break
+					}
+					next = next.Add(interarrival)
+				}
+				prio := serve.PriorityNormal
+				if cfg.LowPriorityFraction > 0 && prioRNG.Float64() < cfg.LowPriorityFraction {
+					prio = serve.PriorityLow
+				}
+				req := buildOp(cfg, ops.next(), chooser, latest, &nextInsert, &version)
+				req.Priority = prio
+				req.Timeout = cfg.Deadline
+				if interarrival > 0 {
+					// Open loop: the arrival does not wait for the
+					// completion, but admission must happen HERE, on the
+					// pacing goroutine — if the enqueue raced on a spawned
+					// goroutine, an idle dispatch loop would advance
+					// virtual time past the next arrival target first,
+					// bunching the whole schedule into bursts. Only the
+					// completion wait moves off-goroutine, so the spawn
+					// count is bounded by MaxQueue + in-flight.
+					h, err := srv.SubmitAsync(req)
+					if err != nil {
+						st.record(serve.Result{}, err)
+						if errors.Is(err, serve.ErrClosed) {
+							break
+						}
+						continue
+					}
+					arrivals.Add(1)
+					go func(h *serve.Handle) {
+						defer arrivals.Done()
+						res, err := h.Wait(ctx)
+						st.record(res, err)
+					}(h)
+				} else {
+					res, err := srv.Submit(ctx, req)
+					st.record(res, err)
+					if errors.Is(err, serve.ErrClosed) {
+						break
+					}
+				}
+			}
+			arrivals.Wait()
+		}(c, nOps)
+	}
+	wg.Wait()
+
+	res := ConcurrentResult{
+		Workload:   cfg.Workload.Name,
+		Clients:    cfg.Clients,
+		Offered:    cfg.OfferedLoad,
+		Operations: cfg.OperationCount,
+		Elapsed:    srv.Now().Sub(startNow),
+	}
+	merged := &Histogram{}
+	for _, st := range states {
+		st.mu.Lock()
+		res.Completed += st.completed
+		res.ShedOverload += st.overload
+		res.ShedDeadline += st.deadline
+		res.ShedReadOnly += st.readonly
+		res.Cancelled += st.cancelled
+		res.OtherErrors += st.other
+		merged.Merge(&st.hist)
+		st.mu.Unlock()
+	}
+	if res.Elapsed > 0 {
+		res.Goodput = float64(res.Completed) / res.Elapsed.Seconds()
+	}
+	res.P50 = merged.Quantile(0.50)
+	res.P99 = merged.Quantile(0.99)
+	res.MaxQueueObserved = srv.Stats().MaxQueueObserved
+	return res, nil
+}
+
+// buildOp translates one YCSB operation into a serve.Request. Key and
+// value bytes are materialised on the client goroutine; the Op closure
+// only touches the store (dispatch-goroutine state).
+func buildOp(cfg ConcurrentConfig, kind OpKind, chooser dist.Generator, latest *dist.Latest, nextInsert *atomic.Int64, version *atomic.Uint64) serve.Request {
+	switch kind {
+	case OpRead:
+		k := key(chooser.Next())
+		return serve.Request{Op: func(e serve.Exec) (any, error) {
+			_, _, err := e.Store.Get(k)
+			return nil, err
+		}}
+	case OpUpdate:
+		rec := chooser.Next()
+		v := valueFor(make([]byte, cfg.ValueSize), rec, version.Add(1))
+		k := key(rec)
+		return serve.Request{Write: true, Op: func(e serve.Exec) (any, error) {
+			return nil, e.Store.Put(k, v)
+		}}
+	case OpInsert:
+		rec := nextInsert.Add(1) - 1
+		v := valueFor(make([]byte, cfg.ValueSize), rec, 0)
+		k := key(rec)
+		if latest != nil {
+			latest.AddItem()
+		}
+		return serve.Request{Write: true, Op: func(e serve.Exec) (any, error) {
+			return nil, e.Store.Put(k, v)
+		}}
+	default: // OpReadModifyWrite
+		rec := chooser.Next()
+		v := valueFor(make([]byte, cfg.ValueSize), rec, version.Add(1))
+		k := key(rec)
+		return serve.Request{Write: true, Op: func(e serve.Exec) (any, error) {
+			_, err := e.Store.ReadModifyWrite(k, func([]byte) []byte { return v })
+			return nil, err
+		}}
+	}
+}

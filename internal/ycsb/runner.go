@@ -136,6 +136,32 @@ func (o *opChooser) next() OpKind {
 	return OpReadModifyWrite
 }
 
+// newChooser builds the request-distribution generator for one client.
+// Generators are not safe for concurrent use; concurrent runs fork the
+// RNG and build one chooser per client goroutine.
+func newChooser(rng *sim.RNG, w Workload, records int64) (dist.Generator, *dist.Latest, error) {
+	switch w.Request {
+	case DistZipfian:
+		return dist.NewScrambledZipfian(rng.Fork(), records, dist.ZipfianConstant), nil, nil
+	case DistLatest:
+		latest := dist.NewLatest(rng.Fork(), records, dist.ZipfianConstant)
+		return latest, latest, nil
+	case DistUniform:
+		return dist.NewUniform(rng.Fork(), records), nil, nil
+	case DistHotspot:
+		hotSet, hotOp := w.HotSetFraction, w.HotOpFraction
+		if hotSet == 0 {
+			hotSet = 0.1
+		}
+		if hotOp == 0 {
+			hotOp = 0.95
+		}
+		return dist.NewHotSpot(rng.Fork(), records, hotSet, hotOp), nil, nil
+	default:
+		return nil, nil, fmt.Errorf("ycsb: unknown distribution %d", w.Request)
+	}
+}
+
 // ErrScansUnsupported is returned when a workload requires range scans
 // (YCSB-E). The paper's NV-DRAM Redis does not support cross-key
 // transactions, and neither does this KV store — by design, to mirror
@@ -160,27 +186,9 @@ func Run(cfg Config, target Target) (Result, error) {
 	ops := &opChooser{rng: rng.Fork(), w: cfg.Workload}
 
 	records := int64(cfg.RecordCount)
-	var chooser dist.Generator
-	var latest *dist.Latest
-	switch cfg.Workload.Request {
-	case DistZipfian:
-		chooser = dist.NewScrambledZipfian(rng.Fork(), records, dist.ZipfianConstant)
-	case DistLatest:
-		latest = dist.NewLatest(rng.Fork(), records, dist.ZipfianConstant)
-		chooser = latest
-	case DistUniform:
-		chooser = dist.NewUniform(rng.Fork(), records)
-	case DistHotspot:
-		hotSet, hotOp := cfg.Workload.HotSetFraction, cfg.Workload.HotOpFraction
-		if hotSet == 0 {
-			hotSet = 0.1
-		}
-		if hotOp == 0 {
-			hotOp = 0.95
-		}
-		chooser = dist.NewHotSpot(rng.Fork(), records, hotSet, hotOp)
-	default:
-		return Result{}, fmt.Errorf("ycsb: unknown distribution %d", cfg.Workload.Request)
+	chooser, latest, err := newChooser(rng, cfg.Workload, records)
+	if err != nil {
+		return Result{}, err
 	}
 
 	res := Result{Workload: cfg.Workload.Name, Operations: cfg.OperationCount}

@@ -26,15 +26,19 @@
 package viyojit
 
 import (
+	"context"
 	"fmt"
 
 	"viyojit/internal/battery"
 	"viyojit/internal/core"
 	"viyojit/internal/health"
+	"viyojit/internal/kvstore"
 	"viyojit/internal/nvdram"
+	"viyojit/internal/pheap"
 	"viyojit/internal/power"
 	"viyojit/internal/recovery"
 	"viyojit/internal/scrub"
+	"viyojit/internal/serve"
 	"viyojit/internal/sim"
 	"viyojit/internal/ssd"
 )
@@ -74,6 +78,39 @@ type (
 	// IntegrityReport is the per-page repair/quarantine accounting of a
 	// verified restore (System.Recover).
 	IntegrityReport = recovery.IntegrityReport
+	// ServeConfig tunes the concurrent serving front-end (System.Serve).
+	ServeConfig = serve.Config
+	// ServeRequest is one unit of admission for the serving front-end.
+	ServeRequest = serve.Request
+	// ServeResult is a completed request's outcome.
+	ServeResult = serve.Result
+	// ServeStats are the front-end's admission/shedding counters.
+	ServeStats = serve.Stats
+	// ServeExec is the execution context a request's Op receives.
+	ServeExec = serve.Exec
+)
+
+// Serving-layer request classes and priorities (see internal/serve).
+const (
+	ClassClient     = serve.ClassClient
+	ClassBackground = serve.ClassBackground
+	PriorityLow     = serve.PriorityLow
+	PriorityNormal  = serve.PriorityNormal
+	PriorityHigh    = serve.PriorityHigh
+)
+
+// The serving front-end's typed rejections; match with errors.Is.
+var (
+	// ErrOverloaded: admission control shed the request (queue full,
+	// watermark, or ladder-driven shedding).
+	ErrOverloaded = serve.ErrOverloaded
+	// ErrDeadlineExceeded: the virtual-time deadline passed in queue or
+	// a predicted clean-stall would miss it.
+	ErrDeadlineExceeded = serve.ErrDeadlineExceeded
+	// ErrReadOnly: the degradation ladder has writes blocked.
+	ErrReadOnly = serve.ErrReadOnly
+	// ErrServerClosed: the front-end was stopped.
+	ErrServerClosed = serve.ErrClosed
 )
 
 // Degradation-ladder rungs (see core.HealthState).
@@ -160,6 +197,7 @@ type System struct {
 	manager  *core.Manager
 	monitor  *health.Monitor
 	scrubber *scrub.Scrubber
+	server   *serve.Server
 	cfg      Config
 }
 
@@ -406,6 +444,63 @@ func (s *System) IntegrityReport() IntegrityStatus {
 	}
 }
 
+// NewStore formats a persistent heap on a fresh mapping and creates a
+// KV store on it — the store most serving deployments front with
+// System.Serve. Sizing mirrors the evaluation harness: one hash bucket
+// per ~2 pages of heap, minimum 64.
+func (s *System) NewStore(name string, size int64) (*kvstore.Store, error) {
+	m, err := s.Map(name, size)
+	if err != nil {
+		return nil, err
+	}
+	heap, err := pheap.Format(m)
+	if err != nil {
+		return nil, err
+	}
+	buckets := int(size / 8192)
+	if buckets < 64 {
+		buckets = 64
+	}
+	return kvstore.Create(heap, buckets)
+}
+
+// Serve starts the concurrent request front-end over this system: an
+// actor-style dispatch loop takes ownership of the clock, event queue,
+// manager, and store, and many client goroutines submit through
+// System.Submit (or the returned server). store may be nil when
+// requests only need the manager.
+//
+// While serving, the single-goroutine System methods (Pump,
+// AdvanceTime, Map, Scrub, ...) must not be called concurrently with
+// the server — route that work through Submit as ClassBackground
+// requests instead. Stop serving with Server().Stop() or Close.
+func (s *System) Serve(store *kvstore.Store, cfg ServeConfig) (*serve.Server, error) {
+	if s.server != nil {
+		return nil, fmt.Errorf("viyojit: already serving")
+	}
+	srv, err := serve.New(s.clock, s.events, s.manager, store, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := srv.Start(); err != nil {
+		return nil, err
+	}
+	s.server = srv
+	return srv, nil
+}
+
+// Server returns the running front-end (nil before Serve).
+func (s *System) Server() *serve.Server { return s.server }
+
+// Submit routes one request through the serving front-end. It errors
+// if Serve has not been called.
+func (s *System) Submit(ctx context.Context, req ServeRequest) (ServeResult, error) {
+	if s.server == nil {
+		return ServeResult{}, fmt.Errorf("viyojit: not serving; call Serve first")
+	}
+	return s.server.Submit(ctx, req)
+}
+
 // FlushAll synchronously cleans every dirty page (clean shutdown).
 func (s *System) FlushAll() { s.manager.FlushAll() }
 
@@ -471,9 +566,13 @@ func (s *System) Recover() (*System, recovery.RestoreReport, error) {
 	}, nil
 }
 
-// Close stops the health monitor, the scrubber, and the background
-// epoch task, and drains in-flight IO.
+// Close stops the serving front-end (if any), the health monitor, the
+// scrubber, and the background epoch task, and drains in-flight IO.
 func (s *System) Close() {
+	if s.server != nil {
+		s.server.Stop()
+		s.server = nil
+	}
 	if s.monitor != nil {
 		s.monitor.Close()
 	}
