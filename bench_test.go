@@ -395,6 +395,61 @@ func BenchmarkServeThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkObsHotPath measures one full observability record set — the
+// instruments a served request touches (counter, gauge, histogram, span
+// begin/finish) — in host ns/op. The guard: zero B/op, zero allocs/op;
+// TestObsRecordPathZeroAlloc enforces the same bound as a plain test so
+// a regression fails `go test` without anyone reading benchmark output.
+func BenchmarkObsHotPath(b *testing.B) {
+	sys, err := New(Config{NVDRAMSize: 8 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+	reg := sys.Metrics()
+	c := reg.Counter("bench_requests_total")
+	g := reg.Gauge("bench_queue_depth")
+	h := reg.Histogram("bench_latency_ns")
+	tr := reg.Tracer()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		g.Set(int64(i & 63))
+		h.Record(sim.Duration(1000 + i&1023))
+		sp := tr.Begin("bench.request", sim.Time(i))
+		tr.Finish(sp, sim.Time(i+1), "ok")
+	}
+}
+
+// TestObsRecordPathZeroAlloc asserts the instruments the serve dispatch
+// loop records onto — fetched from a real System's registry, exactly as
+// the subsystems hold them — allocate nothing per operation, so enabling
+// observability cannot move BenchmarkServeThroughput's allocation count.
+func TestObsRecordPathZeroAlloc(t *testing.T) {
+	sys, err := New(Config{NVDRAMSize: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	reg := sys.Metrics()
+	c := reg.Counter("serve_submitted_total")
+	g := reg.Gauge("serve_queue_depth")
+	h := reg.Histogram("serve_latency_normal_ns")
+	tr := reg.Tracer()
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Set(3)
+		g.SetMax(5)
+		h.Record(12345)
+		sp := tr.Begin("serve.request", 1)
+		tr.Finish(sp, 2, "ok")
+	})
+	if allocs != 0 {
+		t.Fatalf("obs record path allocates %.1f/op; the serve hot path must stay allocation-free", allocs)
+	}
+}
+
 // ---------------------------------------------------------------------
 // Micro-benchmarks of the core data path (host-time ns/op; these measure
 // the library itself, not the modelled system).

@@ -27,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"viyojit"
 	"viyojit/internal/faultinject"
@@ -47,6 +48,7 @@ func main() {
 	noScrub := flag.Bool("no-scrub", false, "disable the background integrity scrubber")
 	sag := flag.Float64("sag", 0, "battery derating applied mid-run, e.g. 0.7 (0 = no sag)")
 	crashStep := flag.Uint64("crash-step", 0, "pull the plug at this event-queue step (0 = after the workload)")
+	metricsOut := flag.String("metrics", "", `dump the system's metrics/trace export to this file after the durability check ("-" = stdout; a .json suffix selects JSON, otherwise text)`)
 	flag.Parse()
 
 	sys, err := viyojit.New(viyojit.Config{
@@ -202,6 +204,12 @@ func main() {
 	}
 	fmt.Println("durability verified: every NV-DRAM byte is recoverable from the SSD")
 
+	if *metricsOut != "" {
+		if err := dumpMetrics(sys, *metricsOut); err != nil {
+			fatal(err)
+		}
+	}
+
 	recovered, rr, err := sys.Recover()
 	if err != nil {
 		fatal(err)
@@ -221,6 +229,30 @@ func main() {
 		fatal(err)
 	}
 	fmt.Println("recovered heap readable at DRAM latency — cache starts warm")
+}
+
+// dumpMetrics writes the system's metrics/trace export to path: stdout
+// for "-", JSON for a .json suffix, the text exposition otherwise.
+func dumpMetrics(sys *viyojit.System, path string) error {
+	if path == "-" {
+		return sys.WriteMetricsText(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".json") {
+		err = sys.WriteMetricsJSON(f)
+	} else {
+		err = sys.WriteMetricsText(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		fmt.Printf("metrics export written to %s\n", path)
+	}
+	return err
 }
 
 func fatal(err error) {

@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"viyojit/internal/experiments"
+	"viyojit/internal/obs"
 	"viyojit/internal/sim"
 )
 
@@ -37,7 +38,13 @@ func main() {
 	clients := flag.Int("clients", 0, "overload: concurrent client goroutines (0 = default 8)")
 	offered := flag.String("offered-load", "", "overload: comma-separated offered-load multipliers of saturation (default 0.25,0.5,1,1.5,2)")
 	deadline := flag.Duration("deadline", 0, "overload: per-request virtual deadline (0 = default 2ms)")
+	metricsOut := flag.String("metrics", "", `dump the accumulated metrics/trace export to this file after the runs ("-" = stdout; a .json suffix selects JSON, otherwise text)`)
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *metricsOut != "" {
+		reg = obs.NewRegistry()
+	}
 
 	want := map[string]bool{}
 	for _, f := range strings.Split(*figures, ",") {
@@ -49,6 +56,7 @@ func main() {
 		opts = experiments.QuickSweepOptions()
 		opts.Seed = *seed
 	}
+	opts.Obs = reg
 
 	out := os.Stdout
 	if want["7"] || want["8"] || want["9"] {
@@ -181,6 +189,7 @@ func main() {
 			Seed:     *seed,
 			Clients:  *clients,
 			Deadline: sim.Duration(*deadline),
+			Obs:      reg,
 		}
 		if *quick {
 			ocfg.OperationCount = 5_000
@@ -203,6 +212,37 @@ func main() {
 		}
 		experiments.FprintOverload(out, curve)
 	}
+
+	if reg != nil {
+		if err := dumpMetrics(reg, *metricsOut); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// dumpMetrics writes the registry's export to path: stdout for "-",
+// JSON for a .json suffix, the text exposition otherwise.
+func dumpMetrics(reg *obs.Registry, path string) error {
+	exp := reg.Export()
+	if path == "-" {
+		return exp.WriteText(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".json") {
+		err = exp.WriteJSON(f)
+	} else {
+		err = exp.WriteText(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		fmt.Printf("metrics export written to %s\n", path)
+	}
+	return err
 }
 
 func fatal(err error) {

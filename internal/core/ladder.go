@@ -118,8 +118,8 @@ func (m *Manager) unblockWrites() {
 // drain.
 func (m *Manager) EnterEmergencyFlush() int {
 	if m.state < StateEmergencyFlush {
-		m.state = StateEmergencyFlush
-		m.stats.EmergencyEnters++
+		m.setState(StateEmergencyFlush)
+		m.st.emergencyEnters.Inc()
 		m.blockWrites()
 	}
 	return m.emergencyDrain()
@@ -149,9 +149,11 @@ func (m *Manager) emergencyDrain() int {
 	}
 	for len(m.dirty) > 0 {
 		submitted := false
-		for page, dp := range m.dirty {
-			if !dp.cleaning && dp.attempts < m.cfg.EmergencyMaxAttempts {
-				m.stats.EmergencyCleans++
+		// Sorted submission order keeps the drain's timing and trace
+		// deterministic across same-seed runs (map order is not).
+		for _, page := range m.sortedDirtyPages() {
+			if dp, ok := m.dirty[page]; ok && !dp.cleaning && dp.attempts < m.cfg.EmergencyMaxAttempts {
+				m.st.emergencyCleans.Inc()
 				m.startClean(page)
 				submitted = true
 			}
@@ -181,8 +183,8 @@ func (m *Manager) EnterReadOnly() {
 	if m.state < StateEmergencyFlush {
 		m.blockWrites()
 	}
-	m.state = StateReadOnly
-	m.stats.ReadOnlyEnters++
+	m.setState(StateReadOnly)
+	m.st.readOnlyEnters.Inc()
 }
 
 // Resume de-escalates from a write-blocking rung back down to Healthy or
@@ -195,13 +197,13 @@ func (m *Manager) Resume(to HealthState) error {
 		return fmt.Errorf("core: cannot resume to write-blocking state %v", to)
 	}
 	if m.state < StateEmergencyFlush {
-		m.state = to
+		m.setState(to)
 		return nil
 	}
-	m.state = to
+	m.setState(to)
 	m.errorStreak = 0
 	m.healthyStreak = 0
-	m.stats.Resumes++
+	m.st.resumes.Inc()
 	m.unblockWrites()
 	m.checkInvariant()
 	return nil

@@ -25,6 +25,7 @@ import (
 
 	"viyojit/internal/mmu"
 	"viyojit/internal/nvdram"
+	"viyojit/internal/obs"
 	"viyojit/internal/sim"
 	"viyojit/internal/ssd"
 )
@@ -87,6 +88,11 @@ type Config struct {
 	// up on it (the health monitor escalates to ReadOnly when drains
 	// keep failing). 0 selects 3.
 	EmergencyMaxAttempts int
+	// Obs is the observability registry the manager publishes its
+	// counters, gauges, histograms, and clean spans onto. nil creates a
+	// private registry so Stats() always works; pass the system-wide
+	// registry (viyojit.System does) to aggregate across subsystems.
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -213,7 +219,10 @@ type Manager struct {
 	samples     []Sample
 	sampleEvent *sim.Event
 
-	stats Stats
+	// st holds the registry-backed atomic counters/gauges/histograms
+	// (instruments.go); tr records clean operations as trace spans.
+	st *instruments
+	tr *obs.Tracer
 }
 
 // Sample is one observability data point (see Config.SampleEvery).
@@ -253,6 +262,10 @@ func NewManager(clock *sim.Clock, events *sim.Queue, region *nvdram.Region, dev 
 	if cfg.EWMAWeight < 0 || cfg.EWMAWeight > 1 {
 		return nil, fmt.Errorf("core: EWMA weight %v outside [0,1]", cfg.EWMAWeight)
 	}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	m := &Manager{
 		clock:     clock,
 		events:    events,
@@ -263,7 +276,10 @@ func NewManager(clock *sim.Clock, events *sim.Queue, region *nvdram.Region, dev 
 		dirty:     make(map[mmu.PageID]*dirtyPage),
 		history:   make([]uint64, region.NumPages()),
 		histEpoch: make([]uint64, region.NumPages()),
+		st:        newInstruments(reg),
+		tr:        reg.Tracer(),
 	}
+	m.noteBudgetLevel()
 	pt := region.PageTable()
 	if cfg.HardwareAssist {
 		// §5.4: the MMU counts dirty transitions itself; no protection,
@@ -309,9 +325,6 @@ func (m *Manager) Region() *nvdram.Region { return m.region }
 
 // SSD returns the backing device.
 func (m *Manager) SSD() *ssd.SSD { return m.dev }
-
-// Stats returns a snapshot of the counters.
-func (m *Manager) Stats() Stats { return m.stats }
 
 // Config returns the effective configuration.
 func (m *Manager) Config() Config { return m.cfg }
@@ -360,11 +373,11 @@ func (m *Manager) scheduleEpochAt(at sim.Time) {
 
 // handleFault is the write-protection fault handler (flowchart steps 3–8).
 func (m *Manager) handleFault(page mmu.PageID) {
-	m.stats.Faults++
+	m.st.faults.Inc()
 	if m.writesBlocked() {
 		// EmergencyFlush/ReadOnly: leave the page protected so the MMU
 		// reports the write as failed to the caller (mmu.ErrProtected).
-		m.stats.WritesBlocked++
+		m.st.writesBlocked.Inc()
 		return
 	}
 	waitStart := m.clock.Now()
@@ -390,7 +403,7 @@ func (m *Manager) handleFault(page mmu.PageID) {
 				// un-protected the page and left it in the dirty set, so
 				// the blocked write proceeds on the existing entry at no
 				// further cost (the retry will re-snapshot it later).
-				m.stats.FaultWaitTotal += m.clock.Now().Sub(waitStart)
+				m.noteFaultWait(m.clock.Now().Sub(waitStart))
 				return
 			}
 			if !m.events.Step(m.clock) {
@@ -405,12 +418,12 @@ func (m *Manager) handleFault(page mmu.PageID) {
 	// remaining drain — the backpressure that lets the transition make
 	// progress against a sustained write burst.
 	for len(m.dirty) >= m.effectiveBudget() {
-		m.stats.ForcedCleans++
+		m.st.forcedCleans.Inc()
 		if !m.cleanOneSync() {
 			panic(fmt.Sprintf("core: dirty set %d at budget %d with no cleanable victim", len(m.dirty), m.effectiveBudget()))
 		}
 	}
-	m.stats.FaultWaitTotal += m.clock.Now().Sub(waitStart)
+	m.noteFaultWait(m.clock.Now().Sub(waitStart))
 
 	// Admit the page (step 8): unprotect, count, record. Update recency
 	// is NOT marked here: the paper's system learns recency only from
@@ -423,10 +436,8 @@ func (m *Manager) handleFault(page mmu.PageID) {
 	m.dirty[page] = &dirtyPage{seq: m.dirtySeq}
 	m.ageHistory(page) // bring the page's decayed history current
 	m.newDirtyThisEpoch++
-	m.stats.PagesDirtied++
-	if len(m.dirty) > m.stats.MaxDirtyObserved {
-		m.stats.MaxDirtyObserved = len(m.dirty)
-	}
+	m.st.pagesDirtied.Inc()
+	m.noteDirtyLevel()
 	m.checkInvariant()
 }
 
@@ -460,23 +471,21 @@ func (m *Manager) handleDirtyNotify(page mmu.PageID) {
 	waitStart := m.clock.Now()
 	for len(m.dirty) >= m.effectiveBudget() {
 		// The at-budget case pays the interrupt the §5.4 MMU raises.
-		m.stats.Faults++
+		m.st.faults.Inc()
 		m.clock.Advance(hwInterruptCost)
-		m.stats.ForcedCleans++
+		m.st.forcedCleans.Inc()
 		if !m.cleanOneSync() {
 			panic(fmt.Sprintf("core: dirty set %d at budget %d with no cleanable victim", len(m.dirty), m.effectiveBudget()))
 		}
 	}
-	m.stats.FaultWaitTotal += m.clock.Now().Sub(waitStart)
+	m.noteFaultWait(m.clock.Now().Sub(waitStart))
 
 	m.dirtySeq++
 	m.dirty[page] = &dirtyPage{seq: m.dirtySeq}
 	m.ageHistory(page)
 	m.newDirtyThisEpoch++
-	m.stats.PagesDirtied++
-	if len(m.dirty) > m.stats.MaxDirtyObserved {
-		m.stats.MaxDirtyObserved = len(m.dirty)
-	}
+	m.st.pagesDirtied.Inc()
+	m.noteDirtyLevel()
 	m.checkInvariant()
 }
 
@@ -541,6 +550,7 @@ func (m *Manager) startClean(page mmu.PageID) {
 		pt.Protect(page)
 	}
 	data := m.region.PageData(page)
+	sp := m.tr.Begin("core.clean", m.clock.Now())
 	m.dev.WritePageAsync(page, data, func(at sim.Time, err error) {
 		// If the entry was replaced (page re-dirtied after a waiter saw
 		// this clean complete), leave the new entry alone.
@@ -552,7 +562,8 @@ func (m *Manager) startClean(page mmu.PageID) {
 			// software mode that means unprotecting again, restoring the
 			// "dirty ∧ ¬cleaning ⇒ unprotected" invariant — and resubmit
 			// after an exponential backoff.
-			m.stats.CleanErrors++
+			m.st.cleanErrors.Inc()
+			m.tr.Finish(sp, at, "error")
 			m.noteCleanError(at)
 			if !ok || cur != dp {
 				return
@@ -574,7 +585,9 @@ func (m *Manager) startClean(page mmu.PageID) {
 			}
 			return
 		}
-		m.stats.CleansCompleted++
+		m.st.cleansCompleted.Inc()
+		m.st.cleanLatency.Record(at.Sub(sp.Start))
+		m.tr.Finish(sp, at, "ok")
 		m.noteCleanSuccess()
 		if !ok || cur != dp {
 			return
@@ -591,6 +604,7 @@ func (m *Manager) startClean(page mmu.PageID) {
 		// The snapshot's contents are now durable.
 		delete(m.dirty, page)
 		pt.ClearDirty(page)
+		m.noteDirtyLevel()
 		m.noteDrainProgress()
 	})
 }
@@ -622,7 +636,7 @@ func (m *Manager) scheduleCleanRetry(page mmu.PageID, dp *dirtyPage, at sim.Time
 		if !ok || cur != dp || cur.cleaning {
 			return
 		}
-		m.stats.CleanRetries++
+		m.st.cleanRetries.Inc()
 		m.startClean(page)
 	})
 }
@@ -636,8 +650,8 @@ func (m *Manager) noteCleanError(at sim.Time) {
 	m.errorStreak++
 	m.lastErrorAt = at
 	if m.state == StateHealthy && m.errorStreak >= m.cfg.DegradeAfterErrors {
-		m.state = StateDegraded
-		m.stats.DegradedEnters++
+		m.setState(StateDegraded)
+		m.st.degradedEnters.Inc()
 	}
 }
 
@@ -651,7 +665,7 @@ func (m *Manager) noteCleanSuccess() {
 	}
 	m.healthyStreak++
 	if m.healthyStreak >= m.cfg.HealAfterCleans {
-		m.state = StateHealthy
+		m.setState(StateHealthy)
 		m.healthyStreak = 0
 	}
 }
@@ -712,12 +726,12 @@ func (m *Manager) epochTick(at sim.Time) {
 		// A previous tick is still running (its proactive IO submissions
 		// stalled past a full epoch). Skip this round rather than
 		// corrupting shared state; the system is overloaded anyway.
-		m.stats.SkippedEpochs++
+		m.st.skippedEpochs.Inc()
 		m.scheduleEpochAt(at.Add(m.cfg.Epoch))
 		return
 	}
 	m.inEpoch = true
-	m.stats.Epochs++
+	m.st.epochs.Inc()
 	m.epochIndex++
 
 	// Time-based heal (hysteresis): a degraded manager on a mostly-idle
@@ -728,7 +742,7 @@ func (m *Manager) epochTick(at sim.Time) {
 	// success to reset it, so a single later error doesn't instantly
 	// re-enter Degraded off the stale count.
 	if m.state == StateDegraded && at.Sub(m.lastErrorAt) >= m.cfg.HealAfterQuiet {
-		m.state = StateHealthy
+		m.setState(StateHealthy)
 		m.errorStreak = 0
 		m.healthyStreak = 0
 	}
@@ -757,6 +771,7 @@ func (m *Manager) epochTick(at sim.Time) {
 	w := m.cfg.EWMAWeight
 	m.pressure = w*float64(m.newDirtyThisEpoch) + (1-w)*m.pressure
 	m.newDirtyThisEpoch = 0
+	m.st.pressure.Set(int64(m.pressure * 1000))
 
 	// Proactive copying: clean least-recently-updated pages until the
 	// dirty set can absorb the predicted burst without blocking.
@@ -770,7 +785,7 @@ func (m *Manager) epochTick(at sim.Time) {
 		// set keeps extra headroom for retries before the budget blocks
 		// writers. Restored automatically once cleans succeed again
 		// (noteCleanSuccess).
-		m.stats.DegradedEpochs++
+		m.st.degradedEpochs.Inc()
 		threshold /= 2
 	}
 	m.rebuildVictimQueue()
@@ -781,7 +796,7 @@ func (m *Manager) epochTick(at sim.Time) {
 		if !ok {
 			break
 		}
-		m.stats.ProactiveCleans++
+		m.st.proactiveCleans.Inc()
 		m.startClean(page)
 		target--
 	}
@@ -793,12 +808,13 @@ func (m *Manager) epochTick(at sim.Time) {
 
 // FlushAll synchronously cleans every dirty page — the clean-shutdown
 // path. After it returns, the dirty set is empty and every page's
-// contents are durable.
+// contents are durable. Pages are submitted in sorted order so flush
+// timing and the trace log are identical across same-seed runs.
 func (m *Manager) FlushAll() {
 	for len(m.dirty) > 0 {
 		started := false
-		for page, dp := range m.dirty {
-			if !dp.cleaning {
+		for _, page := range m.sortedDirtyPages() {
+			if dp, ok := m.dirty[page]; ok && !dp.cleaning {
 				m.startClean(page)
 				started = true
 			}
@@ -833,15 +849,17 @@ func (m *Manager) SetDirtyBudget(pages int) error {
 		m.budget = pages
 		if m.draining {
 			m.draining = false
-			m.stats.DrainsCompleted++
+			m.st.drainsCompleted.Inc()
 		}
-		m.stats.BudgetGrows++
+		m.st.budgetGrows.Inc()
+		m.noteBudgetLevel()
 		m.checkInvariant()
 		return nil
 	}
 	if m.draining && pages >= m.budget {
 		// Already draining to a tighter target; keep the ratchet.
 		m.budget = pages
+		m.noteBudgetLevel()
 		m.checkInvariant()
 		return nil
 	}
@@ -850,7 +868,8 @@ func (m *Manager) SetDirtyBudget(pages int) error {
 		m.drainBound = len(m.dirty)
 	}
 	m.budget = pages
-	m.stats.BudgetShrinks++
+	m.st.budgetShrinks.Inc()
+	m.noteBudgetLevel()
 	m.kickDrain()
 	m.checkInvariant()
 	return nil
@@ -873,7 +892,7 @@ func (m *Manager) SetDirtyBudgetSync(pages int) error {
 // capacity before the battery actually loses the energy.
 func (m *Manager) CompleteDrain() error {
 	for m.draining {
-		m.stats.RetuneCleans++
+		m.st.retuneCleans.Inc()
 		if !m.cleanOneSync() {
 			return fmt.Errorf("core: cannot drain dirty set %d to budget %d", len(m.dirty), m.budget)
 		}
@@ -892,7 +911,7 @@ func (m *Manager) kickDrain() {
 		if !ok {
 			break
 		}
-		m.stats.RetuneCleans++
+		m.st.retuneCleans.Inc()
 		m.startClean(page)
 		excess--
 	}
@@ -911,8 +930,9 @@ func (m *Manager) noteDrainProgress() {
 	}
 	if m.drainBound <= m.budget {
 		m.draining = false
-		m.stats.DrainsCompleted++
+		m.st.drainsCompleted.Inc()
 	}
+	m.noteBudgetLevel()
 }
 
 // effectiveBudget is the operative dirty-page bound: the target budget,

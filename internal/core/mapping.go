@@ -126,7 +126,7 @@ func (m *Manager) Unmap(mp *Mapping) error {
 			}
 			pending = true
 			if !dp.cleaning {
-				m.stats.UnmapCleans++
+				m.st.unmapCleans.Inc()
 				m.startClean(page)
 				started = true
 			}

@@ -67,6 +67,14 @@ func (m *Manager) PowerFailWith(pm power.Model, available func() float64) PowerF
 	m.closed = true
 
 	start := m.clock.Now()
+	sp := m.tr.Begin("core.powerfail_flush", start)
+	defer func() {
+		code := "ok"
+		if !report.Survived {
+			code = "error"
+		}
+		m.tr.Finish(sp, m.clock.Now(), code)
+	}()
 	// In-flight cleans complete first (their IOs are already on the
 	// wire); the remainder of the dirty set streams out as one
 	// sequential backup write at full device bandwidth.
@@ -86,6 +94,7 @@ func (m *Manager) PowerFailWith(pm power.Model, available func() float64) PowerF
 		delete(m.dirty, page)
 		pt.ClearDirty(page)
 	}
+	m.noteDirtyLevel()
 	m.noteDrainProgress()
 	// Deliver any events whose time has come during the flush — a
 	// scheduled battery ageing step, for example — before re-sampling

@@ -50,7 +50,7 @@ func (m *Manager) RepairPage(page mmu.PageID) error {
 		// The latest contents are already queued to become durable; an
 		// in-flight or fresh clean overwrites the corrupt image.
 		if !dp.cleaning {
-			m.stats.RepairCleans++
+			m.st.repairCleans.Inc()
 			m.startClean(page)
 		}
 		return nil
@@ -59,7 +59,7 @@ func (m *Manager) RepairPage(page mmu.PageID) error {
 	// Budget-enforced admission, mirroring the fault path: the repair
 	// must never push the dirty set past what the battery covers.
 	for len(m.dirty) >= m.effectiveBudget() {
-		m.stats.ForcedCleans++
+		m.st.forcedCleans.Inc()
 		if !m.cleanOneSync() {
 			panic(fmt.Sprintf("core: dirty set %d at budget %d with no cleanable victim", len(m.dirty), m.effectiveBudget()))
 		}
@@ -75,10 +75,8 @@ func (m *Manager) RepairPage(page mmu.PageID) error {
 	m.dirtySeq++
 	m.dirty[page] = &dirtyPage{seq: m.dirtySeq}
 	m.ageHistory(page)
-	m.stats.RepairRedirties++
-	if len(m.dirty) > m.stats.MaxDirtyObserved {
-		m.stats.MaxDirtyObserved = len(m.dirty)
-	}
+	m.st.repairRedirties.Inc()
+	m.noteDirtyLevel()
 	m.checkInvariant()
 	m.startClean(page)
 	return nil
@@ -102,8 +100,8 @@ func (m *Manager) Closed() bool { return m.closed }
 // escalation above Degraded remains the policy's explicit call.
 func (m *Manager) EnterDegraded() {
 	if m.state == StateHealthy {
-		m.state = StateDegraded
+		m.setState(StateDegraded)
 		m.healthyStreak = 0
-		m.stats.DegradedEnters++
+		m.st.degradedEnters.Inc()
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"viyojit/internal/core"
 	"viyojit/internal/nvdram"
+	"viyojit/internal/obs"
 	"viyojit/internal/serve"
 	"viyojit/internal/sim"
 	"viyojit/internal/ssd"
@@ -44,6 +45,10 @@ type OverloadConfig struct {
 	Serve serve.Config
 	// SSD overrides the backing-device model.
 	SSD ssd.Config
+	// Obs, when set, is the observability registry the point's manager,
+	// front-end, and device record onto. nil leaves them on their
+	// private registries.
+	Obs *obs.Registry
 }
 
 func (c OverloadConfig) withDefaults() OverloadConfig {
@@ -143,8 +148,10 @@ func RunOverloadPoint(cfg OverloadConfig, offered float64) (ycsb.ConcurrentResul
 		return ycsb.ConcurrentResult{}, err
 	}
 	dev := ssd.New(clock, events, cfg.SSD)
+	dev.AttachObs(cfg.Obs)
 	mgr, err := core.NewManager(clock, events, region, dev, core.Config{
 		DirtyBudgetPages: cfg.DirtyBudgetPages,
+		Obs:              cfg.Obs,
 	})
 	if err != nil {
 		return ycsb.ConcurrentResult{}, err
@@ -169,7 +176,11 @@ func RunOverloadPoint(cfg OverloadConfig, offered float64) (ycsb.ConcurrentResul
 		return ycsb.ConcurrentResult{}, err
 	}
 
-	srv, err := serve.New(clock, events, mgr, store, cfg.Serve)
+	scfg := cfg.Serve
+	if scfg.Obs == nil {
+		scfg.Obs = cfg.Obs
+	}
+	srv, err := serve.New(clock, events, mgr, store, scfg)
 	if err != nil {
 		return ycsb.ConcurrentResult{}, err
 	}

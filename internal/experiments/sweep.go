@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"viyojit/internal/obs"
 	"viyojit/internal/sim"
 	"viyojit/internal/ycsb"
 )
@@ -24,6 +25,9 @@ type SweepOptions struct {
 	// Epoch and DisableTLBFlush pass through (ablations).
 	Epoch           sim.Duration
 	DisableTLBFlush bool
+	// Obs, when set, is the registry every Viyojit run in the sweep
+	// records onto (counters accumulate across runs).
+	Obs *obs.Registry
 }
 
 func (o SweepOptions) withDefaults() SweepOptions {
@@ -74,6 +78,7 @@ func RunSweep(opts SweepOptions) (*Sweep, error) {
 			Seed:            opts.Seed,
 			Epoch:           opts.Epoch,
 			DisableTLBFlush: opts.DisableTLBFlush,
+			Obs:             opts.Obs,
 		}
 		base, err := RunBaseline(cfg)
 		if err != nil {

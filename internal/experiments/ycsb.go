@@ -14,6 +14,7 @@ import (
 	"viyojit/internal/baseline"
 	"viyojit/internal/core"
 	"viyojit/internal/nvdram"
+	"viyojit/internal/obs"
 	"viyojit/internal/sim"
 	"viyojit/internal/ssd"
 	"viyojit/internal/ycsb"
@@ -60,6 +61,10 @@ type YCSBConfig struct {
 	TLBEntries int
 	// SSD overrides the backing-device model (zero value = defaults).
 	SSD ssd.Config
+	// Obs, when set, is the observability registry the run's manager and
+	// device record onto — the hook the golden-export determinism tests
+	// use. nil leaves the subsystems on their private registries.
+	Obs *obs.Registry
 }
 
 func (c YCSBConfig) withDefaults() YCSBConfig {
@@ -156,6 +161,7 @@ func RunViyojit(cfg YCSBConfig, dirtyBudgetPages int) (Point, error) {
 		return Point{}, err
 	}
 	dev := ssd.New(clock, events, cfg.SSD)
+	dev.AttachObs(cfg.Obs)
 	mgr, err := core.NewManager(clock, events, region, dev, core.Config{
 		DirtyBudgetPages: dirtyBudgetPages,
 		Epoch:            cfg.Epoch,
@@ -163,6 +169,7 @@ func RunViyojit(cfg YCSBConfig, dirtyBudgetPages int) (Point, error) {
 		Policy:           cfg.Policy,
 		HardwareAssist:   cfg.HardwareAssist,
 		EWMAWeight:       cfg.EWMAWeight,
+		Obs:              cfg.Obs,
 	})
 	if err != nil {
 		return Point{}, err

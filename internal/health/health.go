@@ -29,6 +29,7 @@ import (
 
 	"viyojit/internal/battery"
 	"viyojit/internal/core"
+	"viyojit/internal/obs"
 	"viyojit/internal/power"
 	"viyojit/internal/sim"
 )
@@ -71,6 +72,10 @@ type Config struct {
 	// lying about acked writes, and shrinking exposure to zero is the
 	// only safe posture. 0 selects 8.
 	ScrubQuarantineEmergency int
+	// Obs is the observability registry the monitor mirrors its
+	// counters and live inputs (battery energy, bandwidth estimate,
+	// derived budget) onto. nil disables the mirror.
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -209,6 +214,43 @@ type Monitor struct {
 	scrub           ScrubStatus // nil = no scrub signal
 	lastDetections  uint64      // detections seen at the previous sample
 	lastQuarantined int         // quarantine size at the previous sample
+
+	// Registry mirror (nil-safe; Stats stays the source of truth).
+	st instruments
+}
+
+type instruments struct {
+	ticks            *obs.Counter
+	retunes          *obs.Counter
+	emergencyEnters  *obs.Counter
+	drainFailures    *obs.Counter
+	readOnlyFalls    *obs.Counter
+	recoveries       *obs.Counter
+	scrubDegrades    *obs.Counter
+	scrubEmergencies *obs.Counter
+
+	effectiveMillijoules *obs.Gauge
+	bandwidthEstimate    *obs.Gauge
+	derivedBudget        *obs.Gauge
+}
+
+func newInstruments(r *obs.Registry) instruments {
+	if r == nil {
+		return instruments{}
+	}
+	return instruments{
+		ticks:                r.Counter("health_ticks_total"),
+		retunes:              r.Counter("health_retunes_total"),
+		emergencyEnters:      r.Counter("health_emergency_enters_total"),
+		drainFailures:        r.Counter("health_drain_failures_total"),
+		readOnlyFalls:        r.Counter("health_readonly_falls_total"),
+		recoveries:           r.Counter("health_recoveries_total"),
+		scrubDegrades:        r.Counter("health_scrub_degrades_total"),
+		scrubEmergencies:     r.Counter("health_scrub_emergencies_total"),
+		effectiveMillijoules: r.Gauge("battery_effective_millijoules"),
+		bandwidthEstimate:    r.Gauge("health_bandwidth_estimate_bytes"),
+		derivedBudget:        r.Gauge("health_derived_budget_pages"),
+	}
 }
 
 // AttachScrub wires a scrubber's error signal into the monitor's ladder
@@ -237,6 +279,7 @@ func NewMonitor(events *sim.Queue, clock *sim.Clock, batt *battery.Battery, mgr 
 		pm:         pm,
 		cfg:        cfg,
 		lastBudget: mgr.DirtyBudget(),
+		st:         newInstruments(cfg.Obs),
 	}
 	m.schedule(clock.Now().Add(cfg.Interval))
 	return m, nil
@@ -327,11 +370,15 @@ func (m *Monitor) bandwidthEstimate() (estimate, measured int64) {
 // and record a snapshot.
 func (m *Monitor) tick(at sim.Time) {
 	m.stats.Ticks++
+	m.st.ticks.Inc()
 	joules := m.batt.EffectiveJoules()
 	bw, measured := m.bandwidthEstimate()
 	region := m.mgr.Region()
 	budget := BudgetPages(m.pm, joules, bw, region.Size(), region.PageSize(), m.cfg.FlushOverhead)
 	m.lastBudget = budget
+	m.st.effectiveMillijoules.Set(int64(joules * 1000))
+	m.st.bandwidthEstimate.Set(bw)
+	m.st.derivedBudget.Set(int64(budget))
 
 	// Sample the scrub signal every tick so the fresh-detection delta
 	// stays aligned with the sampling period whatever rung we're on.
@@ -356,10 +403,12 @@ func (m *Monitor) tick(at sim.Time) {
 		remaining := m.mgr.RetryDrain()
 		if remaining > 0 {
 			m.stats.DrainFailures++
+			m.st.drainFailures.Inc()
 			m.drainFails++
 			if m.drainFails >= m.cfg.DrainAttempts {
 				m.mgr.EnterReadOnly()
 				m.stats.ReadOnlyFalls++
+				m.st.readOnlyFalls.Inc()
 			}
 			m.recoverStreak = 0
 			break
@@ -383,6 +432,7 @@ func (m *Monitor) tick(at sim.Time) {
 				m.mgr.SSD().ResetMeasurement()
 				_ = m.mgr.Resume(core.StateDegraded)
 				m.stats.Recoveries++
+				m.st.recoveries.Inc()
 				m.drainFails = 0
 				m.recoverStreak = 0
 				m.retune(recoveryBudget)
@@ -397,12 +447,15 @@ func (m *Monitor) tick(at sim.Time) {
 			scrubEmergency {
 			if scrubEmergency {
 				m.stats.ScrubEmergencies++
+				m.st.scrubEmergencies.Inc()
 			}
 			m.drainFails = 0
 			m.recoverStreak = 0
 			m.stats.EmergencyEnters++
+			m.st.emergencyEnters.Inc()
 			if m.mgr.EnterEmergencyFlush() > 0 {
 				m.stats.DrainFailures++
+				m.st.drainFailures.Inc()
 				m.drainFails++
 			}
 			break
@@ -414,6 +467,7 @@ func (m *Monitor) tick(at sim.Time) {
 			// it is trusted again.
 			m.mgr.EnterDegraded()
 			m.stats.ScrubDegrades++
+			m.st.scrubDegrades.Inc()
 		}
 		if budget >= 1 {
 			m.retune(budget)
@@ -442,6 +496,7 @@ func (m *Monitor) retune(budget int) {
 	}
 	if err := m.mgr.SetDirtyBudget(budget); err == nil {
 		m.stats.Retunes++
+		m.st.retunes.Inc()
 	}
 }
 

@@ -1,0 +1,255 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"viyojit"
+	"viyojit/internal/experiments"
+	"viyojit/internal/obs"
+	"viyojit/internal/sim"
+	"viyojit/internal/ycsb"
+)
+
+// The golden harness runs canonical seeded single-goroutine scenarios
+// and byte-compares the full metrics/trace export. Any silent
+// behavioral drift — one extra clean, a reordered shed, a changed stall
+// — shows up as a golden diff. Regenerate intentionally with
+//
+//	go test ./internal/obs -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite the golden export files")
+
+// scenarios are the canonical runs. Each must be fully deterministic:
+// seeded, virtual-timed, and single-goroutine (the concurrent serve
+// path is host-schedule-dependent, so goldens script load through the
+// simulation goroutine instead).
+var scenarios = []struct {
+	name string
+	run  func(t *testing.T) *obs.Registry
+}{
+	{name: "ycsb", run: runYCSBScenario},
+	{name: "overload", run: runOverloadScenario},
+	{name: "crashsweep", run: runCrashScenario},
+}
+
+// runYCSBScenario is a small seeded YCSB-A run through the experiments
+// harness — the same assembly the paper's sweep uses.
+func runYCSBScenario(t *testing.T) *obs.Registry {
+	t.Helper()
+	reg := obs.NewRegistry()
+	cfg := experiments.YCSBConfig{
+		Workload:       ycsb.WorkloadA,
+		HeapBytes:      2 << 20,
+		OperationCount: 2_000,
+		Seed:           7,
+		Obs:            reg,
+	}
+	if _, err := experiments.RunViyojit(cfg, experiments.BudgetPages(cfg, 0.11)); err != nil {
+		t.Fatalf("ycsb scenario: %v", err)
+	}
+	return reg
+}
+
+// runOverloadScenario drives the cleaning path far past the dirty
+// budget: every heap page dirtied, then a hot eighth rewritten, all on
+// the simulation goroutine. Forced cleans, budget occupancy, pressure,
+// and clean-stall histograms all move.
+func runOverloadScenario(t *testing.T) *obs.Registry {
+	t.Helper()
+	sys, err := viyojit.New(viyojit.Config{NVDRAMSize: 8 << 20})
+	if err != nil {
+		t.Fatalf("overload scenario: %v", err)
+	}
+	defer sys.Close()
+	m, err := sys.Map("golden-heap", 4<<20)
+	if err != nil {
+		t.Fatalf("overload scenario: %v", err)
+	}
+	rng := sim.NewRNG(11)
+	pages := int((4 << 20) / 4096)
+	buf := make([]byte, 64)
+	for p := 0; p < pages; p++ {
+		for i := range buf {
+			buf[i] = byte(rng.Uint64())
+		}
+		if err := m.WriteAt(buf, int64(p)*4096); err != nil {
+			t.Fatalf("overload scenario: %v", err)
+		}
+		sys.Pump()
+	}
+	for i := 0; i < 2*pages; i++ {
+		p := rng.Intn(pages / 8)
+		if err := m.WriteAt([]byte{byte(i)}, int64(p)*4096); err != nil {
+			t.Fatalf("overload scenario: %v", err)
+		}
+		sys.Pump()
+	}
+	sys.AdvanceTime(5 * sim.Millisecond)
+	sys.FlushAll()
+	return sys.Metrics()
+}
+
+// runCrashScenario is the powerfail demo in miniature: dirty beyond the
+// budget, sag the battery mid-run, pull the plug, verify durability.
+func runCrashScenario(t *testing.T) *obs.Registry {
+	t.Helper()
+	sys, err := viyojit.New(viyojit.Config{NVDRAMSize: 8 << 20})
+	if err != nil {
+		t.Fatalf("crash scenario: %v", err)
+	}
+	sys.Events().Schedule(sim.Time(200*sim.Microsecond), func(sim.Time) {
+		_ = sys.Battery().SetDerating(0.8)
+	})
+	m, err := sys.Map("crash-heap", 2<<20)
+	if err != nil {
+		t.Fatalf("crash scenario: %v", err)
+	}
+	rng := sim.NewRNG(23)
+	pages := int((2 << 20) / 4096)
+	buf := make([]byte, 32)
+	for p := 0; p < pages; p++ {
+		for i := range buf {
+			buf[i] = byte(rng.Uint64())
+		}
+		if err := m.WriteAt(buf, int64(p)*4096); err != nil {
+			t.Fatalf("crash scenario: %v", err)
+		}
+		sys.Pump()
+	}
+	report := sys.SimulatePowerFailure()
+	if !report.Survived {
+		t.Fatalf("crash scenario: flush not covered by battery: %+v", report)
+	}
+	if err := sys.VerifyDurability(); err != nil {
+		t.Fatalf("crash scenario: %v", err)
+	}
+	return sys.Metrics()
+}
+
+// exportBytes renders a registry both ways; the golden files keep the
+// text form (line-diffable), the JSON form backs the byte-identity
+// assertions.
+func exportBytes(t *testing.T, reg *obs.Registry) (text, jsonBytes []byte) {
+	t.Helper()
+	exp := reg.Export()
+	var tb, jb bytes.Buffer
+	if err := exp.WriteText(&tb); err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	return tb.Bytes(), jb.Bytes()
+}
+
+// TestGoldenDeterminism runs every scenario twice and requires the two
+// exports to be byte-identical, text and JSON — same seed, same bytes.
+func TestGoldenDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden scenarios are full runs; skipped in -short")
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			text1, json1 := exportBytes(t, sc.run(t))
+			text2, json2 := exportBytes(t, sc.run(t))
+			if !bytes.Equal(text1, text2) {
+				t.Errorf("%s: two same-seed runs diverge in the text export:\n%s", sc.name, firstDiff(text1, text2))
+			}
+			if !bytes.Equal(json1, json2) {
+				t.Errorf("%s: two same-seed runs diverge in the JSON export", sc.name)
+			}
+		})
+	}
+}
+
+// TestGoldenFiles compares each scenario's text export against the
+// committed golden under testdata/. A diff means system behavior
+// changed: inspect it, and only then -update.
+func TestGoldenFiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden scenarios are full runs; skipped in -short")
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			text, _ := exportBytes(t, sc.run(t))
+			path := filepath.Join("testdata", sc.name+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, text, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d bytes)", path, len(text))
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden %s (run with -update to create): %v", path, err)
+			}
+			if !bytes.Equal(text, want) {
+				t.Errorf("%s: export drifted from golden — behavior changed silently?\n%s", sc.name, firstDiff(want, text))
+			}
+		})
+	}
+}
+
+// firstDiff renders the first divergent line of two text exports.
+func firstDiff(want, got []byte) string {
+	wl := bytes.Split(want, []byte("\n"))
+	gl := bytes.Split(got, []byte("\n"))
+	n := len(wl)
+	if len(gl) < n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(wl[i], gl[i]) {
+			return fmt.Sprintf("line %d:\n  want: %s\n  got:  %s", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: want %d, got %d", len(wl), len(gl))
+}
+
+// FuzzSnapshotJSON checks the JSON exposition round-trips: whatever an
+// export serialises to must decode back to an equivalent export and
+// re-encode to the identical bytes (encode ∘ decode is the identity on
+// the image of encode).
+func FuzzSnapshotJSON(f *testing.F) {
+	f.Add(uint64(3), int64(-5), int64(1500), int64(0), "ok")
+	f.Add(uint64(0), int64(9e18), int64(1), int64(1<<40), "shed_overload")
+	f.Add(^uint64(0), int64(-1<<62), int64(12345), int64(-1), "error")
+	f.Fuzz(func(t *testing.T, cv uint64, gv int64, d1, d2 int64, code string) {
+		reg := obs.NewRegistry()
+		reg.Counter("fuzz_counter").Add(cv)
+		reg.Gauge("fuzz_gauge").Set(gv)
+		h := reg.Histogram("fuzz_hist")
+		h.Record(sim.Duration(d1))
+		h.Record(sim.Duration(d2))
+		tr := reg.Tracer()
+		sp := tr.Begin("fuzz.op", sim.Time(d1))
+		tr.Finish(sp, sim.Time(d2), code)
+
+		var first bytes.Buffer
+		if err := reg.Export().WriteJSON(&first); err != nil {
+			t.Fatal(err)
+		}
+		var decoded obs.Export
+		if err := json.Unmarshal(first.Bytes(), &decoded); err != nil {
+			t.Fatalf("export does not parse back: %v\n%s", err, first.Bytes())
+		}
+		var second bytes.Buffer
+		if err := decoded.WriteJSON(&second); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("JSON round-trip not stable:\nfirst:\n%s\nsecond:\n%s", first.Bytes(), second.Bytes())
+		}
+	})
+}

@@ -1,0 +1,243 @@
+// Package obs is the unified observability hub: a metrics registry
+// (counters, gauges, log-bucketed histograms) plus lightweight trace
+// spans, all keyed to simulated time. It exists to make the paper's
+// quantitative argument observable — dirty-budget occupancy, clean-stall
+// latency, SSD write pressure, shed breakdowns — through one consistent
+// snapshot instead of ad-hoc counters scattered across packages.
+//
+// Two properties shape every type here:
+//
+//   - Hot-path recording is cheap and allocation-free: instruments are
+//     plain atomics, spans are values finished into a preallocated ring.
+//     Recording is safe from any goroutine; Snapshot is safe to call
+//     concurrently with the serve dispatch loop.
+//
+//   - Exposition is deterministic. The simulator is seeded and
+//     virtual-timed, so identical seeds must produce byte-identical
+//     metric and trace exports. Instruments are therefore keyed by name
+//     and emitted in sorted order, span IDs are sequential, and no wall
+//     clock ever leaks into an export. Determinism turns observability
+//     into a regression instrument: golden exports (obs/golden_test.go)
+//     fail on silent behavioral drift.
+//
+// Every instrument method is nil-safe: a nil *Registry hands out nil
+// instruments and a nil instrument's methods no-op, so packages can
+// instrument unconditionally and callers that don't care pass nothing.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64. Overflow wraps modulo
+// 2^64 (the Go atomic addition semantics); at one increment per
+// simulated nanosecond that is ~584 years of virtual time, so wrapping
+// is documented rather than guarded.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one. No-op on a nil counter.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n. No-op on a nil counter.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count; 0 on a nil counter.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous int64 level: queue depth, dirty pages,
+// budget, health-state ordinal. Set/Add saturate nothing — the value is
+// whatever was last written.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v. No-op on a nil gauge.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the gauge by delta (which may be negative). No-op on nil.
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// SetMax raises the gauge to v if v exceeds the current value — a
+// high-water mark (max dirty observed, max queue depth). No-op on nil.
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur {
+			return
+		}
+		if g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current level; 0 on a nil gauge.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Registry holds every instrument by name. Instruments are get-or-create:
+// two callers asking for the same name share the same atomic storage,
+// which is how packages publish and the facade exposes without plumbing
+// struct fields around.
+type Registry struct {
+	mu     sync.RWMutex
+	counts map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
+	tracer *Tracer
+}
+
+// NewRegistry returns an empty registry with an attached tracer.
+func NewRegistry() *Registry {
+	return &Registry{
+		counts: make(map[string]*Counter),
+		gauges: make(map[string]*Gauge),
+		hists:  make(map[string]*Histogram),
+		tracer: newTracer(defaultSpanCap),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counts[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counts[name]; c == nil {
+		c = &Counter{}
+		r.counts[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. A nil
+// registry returns a nil (no-op) gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use. A
+// nil registry returns a nil (no-op) histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = newHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Tracer returns the registry's span tracer; nil on a nil registry.
+func (r *Registry) Tracer() *Tracer {
+	if r == nil {
+		return nil
+	}
+	return r.tracer
+}
+
+// Snapshot returns a point-in-time copy of every instrument, sorted by
+// name. It is safe to call concurrently with recording; each instrument
+// is read atomically (a histogram's fields are individually atomic, so
+// a snapshot taken mid-record may see a sample in the bucket array but
+// not yet in the sum — totals are exact once recording quiesces).
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var s Snapshot
+	s.Counters = make([]CounterSnap, 0, len(r.counts))
+	for name, c := range r.counts {
+		s.Counters = append(s.Counters, CounterSnap{Name: name, Value: c.Value()})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	s.Gauges = make([]GaugeSnap, 0, len(r.gauges))
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeSnap{Name: name, Value: g.Value()})
+	}
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	s.Histograms = make([]HistogramSnap, 0, len(r.hists))
+	for name, h := range r.hists {
+		s.Histograms = append(s.Histograms, h.snap(name))
+	}
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// Export bundles the metrics snapshot with the trace log — the unit the
+// golden regression tests serialise and compare byte-for-byte.
+func (r *Registry) Export() Export {
+	if r == nil {
+		return Export{}
+	}
+	return Export{
+		Metrics: r.Snapshot(),
+		Trace:   r.tracer.Snapshot(),
+	}
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// CounterSnap is one counter's value at snapshot time.
+type CounterSnap struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// GaugeSnap is one gauge's level at snapshot time.
+type GaugeSnap struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// BucketSnap is one non-empty histogram bucket. Index is the bucket
+// number in the fixed log-bucket geometry (8 per octave, 40 octaves).
+type BucketSnap struct {
+	Index int    `json:"i"`
+	Count uint64 `json:"n"`
+}
+
+// HistogramSnap summarises one histogram: exact count/sum/min/max/mean
+// plus interpolated quantiles, and the sparse bucket array for tools
+// that want the full shape. All durations are integer nanoseconds of
+// virtual time — no floats, so exports are byte-stable.
+type HistogramSnap struct {
+	Name    string       `json:"name"`
+	Count   uint64       `json:"count"`
+	Sum     int64        `json:"sum,omitempty"`
+	Min     int64        `json:"min,omitempty"`
+	Max     int64        `json:"max,omitempty"`
+	Mean    int64        `json:"mean,omitempty"`
+	P50     int64        `json:"p50,omitempty"`
+	P90     int64        `json:"p90,omitempty"`
+	P99     int64        `json:"p99,omitempty"`
+	P999    int64        `json:"p999,omitempty"`
+	Buckets []BucketSnap `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of every instrument, sorted by name.
+type Snapshot struct {
+	Counters   []CounterSnap   `json:"counters"`
+	Gauges     []GaugeSnap     `json:"gauges"`
+	Histograms []HistogramSnap `json:"histograms"`
+}
+
+// Export bundles metrics and trace: the full observability state of one
+// run, and the byte-compared unit of the golden regression tests.
+type Export struct {
+	Metrics Snapshot      `json:"metrics"`
+	Trace   TraceSnapshot `json:"trace"`
+}
+
+// WriteJSON writes the export as indented JSON. Output is deterministic:
+// instruments are sorted by name, spans are in completion order, and
+// every quantity is an integer.
+func (e Export) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(e)
+}
+
+// WriteText writes a line-oriented human-readable exposition:
+//
+//	counter <name> <value>
+//	gauge <name> <value>
+//	hist <name> count=N sum=S min=m max=M mean=µ p50=… p90=… p99=… p999=…
+//	span <id> parent=<id> <name> start=S end=E dur=D code=<code>
+//
+// Like WriteJSON the output is deterministic for a deterministic run.
+func (e Export) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range e.Metrics.Counters {
+		fmt.Fprintf(bw, "counter %s %d\n", c.Name, c.Value)
+	}
+	for _, g := range e.Metrics.Gauges {
+		fmt.Fprintf(bw, "gauge %s %d\n", g.Name, g.Value)
+	}
+	for _, h := range e.Metrics.Histograms {
+		fmt.Fprintf(bw, "hist %s count=%d sum=%d min=%d max=%d mean=%d p50=%d p90=%d p99=%d p999=%d\n",
+			h.Name, h.Count, h.Sum, h.Min, h.Max, h.Mean, h.P50, h.P90, h.P99, h.P999)
+	}
+	for _, s := range e.Trace.Spans {
+		fmt.Fprintf(bw, "span %d parent=%d %s start=%d end=%d dur=%d code=%s\n",
+			s.ID, s.Parent, s.Name, int64(s.Start), int64(s.End), int64(s.Duration()), s.Code)
+	}
+	if e.Trace.Evicted > 0 {
+		fmt.Fprintf(bw, "spans_evicted %d\n", e.Trace.Evicted)
+	}
+	return bw.Flush()
+}

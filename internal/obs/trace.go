@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"viyojit/internal/sim"
+)
+
+// SpanID identifies a span within one tracer. IDs are sequential from 1
+// in Begin order, which makes trace exports deterministic for seeded
+// runs: same seed, same IDs, same log.
+type SpanID uint64
+
+// Span is an in-flight operation. It is a plain value: Begin hands it
+// out, the caller carries it (typically in a closure it already has),
+// and Finish records it. No allocation, no map of live spans.
+type Span struct {
+	ID     SpanID
+	Parent SpanID
+	Name   string
+	Start  sim.Time
+}
+
+// SpanRecord is one finished span in the trace log.
+type SpanRecord struct {
+	ID     SpanID   `json:"id"`
+	Parent SpanID   `json:"parent,omitempty"`
+	Name   string   `json:"name"`
+	Start  sim.Time `json:"start"`
+	End    sim.Time `json:"end"`
+	// Code classifies the outcome: "ok", "error", "shed_overload",
+	// "shed_deadline", "read_only", …. Static strings only — the record
+	// path must not format.
+	Code string `json:"code"`
+}
+
+// Duration returns the span's elapsed virtual time.
+func (r SpanRecord) Duration() sim.Duration { return r.End.Sub(r.Start) }
+
+// TraceSnapshot is the exported trace log: finished spans in completion
+// order, plus how many older spans the bounded ring evicted.
+type TraceSnapshot struct {
+	Spans   []SpanRecord `json:"spans"`
+	Evicted uint64       `json:"evicted,omitempty"`
+}
+
+// defaultSpanCap bounds the finished-span ring. Old spans are evicted
+// FIFO; Evicted in the snapshot says how many. 4096 spans ≈ a few
+// hundred KB, enough to hold the interesting tail of any test scenario.
+const defaultSpanCap = 4096
+
+// Tracer records spans into a fixed-capacity ring. Begin/Finish are
+// safe from any goroutine and allocation-free; Snapshot copies under
+// the same lock Finish takes, so it is consistent and race-free.
+//
+// The "scope" is the ambient parent span: the serve dispatch loop sets
+// it around request execution so that clean and scrub operations the
+// manager starts underneath become child spans without any plumbing
+// through core's APIs. Scope is owned by the single dispatch/simulation
+// goroutine; it is stored atomically only so concurrent Snapshot calls
+// race-detect clean.
+type Tracer struct {
+	nextID atomic.Uint64
+	scope  atomic.Uint64
+
+	mu      sync.Mutex
+	ring    []SpanRecord
+	start   int // index of oldest record
+	n       int // records in ring
+	evicted uint64
+}
+
+func newTracer(capacity int) *Tracer {
+	return &Tracer{ring: make([]SpanRecord, capacity)}
+}
+
+// Begin starts a span at virtual time `at`, parented to the current
+// scope. Nil tracers return a zero span that Finish ignores.
+func (t *Tracer) Begin(name string, at sim.Time) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{
+		ID:     SpanID(t.nextID.Add(1)),
+		Parent: SpanID(t.scope.Load()),
+		Name:   name,
+		Start:  at,
+	}
+}
+
+// BeginChild starts a span with an explicit parent, ignoring the scope.
+func (t *Tracer) BeginChild(name string, parent SpanID, at sim.Time) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{
+		ID:     SpanID(t.nextID.Add(1)),
+		Parent: parent,
+		Name:   name,
+		Start:  at,
+	}
+}
+
+// Finish records the span as completed at `end` with the given outcome
+// code. Zero spans (from a nil tracer's Begin) are dropped.
+func (t *Tracer) Finish(sp Span, end sim.Time, code string) {
+	if t == nil || sp.ID == 0 {
+		return
+	}
+	t.mu.Lock()
+	if t.n == len(t.ring) {
+		// Evict the oldest.
+		t.start = (t.start + 1) % len(t.ring)
+		t.n--
+		t.evicted++
+	}
+	idx := (t.start + t.n) % len(t.ring)
+	t.ring[idx] = SpanRecord{ID: sp.ID, Parent: sp.Parent, Name: sp.Name, Start: sp.Start, End: end, Code: code}
+	t.n++
+	t.mu.Unlock()
+}
+
+// SetScope installs span id as the ambient parent for subsequent Begin
+// calls and returns the previous scope so callers can restore it:
+//
+//	prev := tr.SetScope(sp.ID)
+//	defer tr.SetScope(prev)
+//
+// Only the dispatch/simulation goroutine should set scope.
+func (t *Tracer) SetScope(id SpanID) SpanID {
+	if t == nil {
+		return 0
+	}
+	return SpanID(t.scope.Swap(uint64(id)))
+}
+
+// Snapshot copies the finished-span log in completion order.
+func (t *Tracer) Snapshot() TraceSnapshot {
+	if t == nil {
+		return TraceSnapshot{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := TraceSnapshot{Evicted: t.evicted}
+	if t.n > 0 {
+		out.Spans = make([]SpanRecord, t.n)
+		for i := 0; i < t.n; i++ {
+			out.Spans[i] = t.ring[(t.start+i)%len(t.ring)]
+		}
+	}
+	return out
+}

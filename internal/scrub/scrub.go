@@ -35,6 +35,7 @@ import (
 
 	"viyojit/internal/core"
 	"viyojit/internal/mmu"
+	"viyojit/internal/obs"
 	"viyojit/internal/sim"
 	"viyojit/internal/ssd"
 )
@@ -51,6 +52,10 @@ type Config struct {
 	// DisableRepair makes the scrubber detect-and-quarantine only —
 	// measurement runs use it to observe raw corruption accumulation.
 	DisableRepair bool
+	// Obs is the observability registry the scrubber mirrors its
+	// counters onto and records burst spans through. nil disables the
+	// mirror (Stats still works).
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -116,18 +121,57 @@ type Scrubber struct {
 	next       *sim.Event
 	quarantine map[mmu.PageID]Quarantined
 	stats      Stats
+
+	// Registry mirror (nil-safe: a scrubber without Config.Obs records
+	// into nil instruments, which no-op). The Stats struct stays the
+	// source of truth; the instruments expose the same counts on the
+	// system-wide registry plus the quarantine level as a gauge.
+	st instruments
+	tr *obs.Tracer
+}
+
+type instruments struct {
+	bursts       *obs.Counter
+	pagesScanned *obs.Counter
+	passes       *obs.Counter
+	detections   *obs.Counter
+	repairs      *obs.Counter
+	repairKicks  *obs.Counter
+	quarantines  *obs.Counter
+	cleared      *obs.Counter
+	quarantined  *obs.Gauge
+}
+
+func newInstruments(r *obs.Registry) instruments {
+	if r == nil {
+		return instruments{}
+	}
+	return instruments{
+		bursts:       r.Counter("scrub_bursts_total"),
+		pagesScanned: r.Counter("scrub_pages_scanned_total"),
+		passes:       r.Counter("scrub_passes_total"),
+		detections:   r.Counter("scrub_detections_total"),
+		repairs:      r.Counter("scrub_repairs_total"),
+		repairKicks:  r.Counter("scrub_repair_kicks_total"),
+		quarantines:  r.Counter("scrub_quarantines_total"),
+		cleared:      r.Counter("scrub_cleared_total"),
+		quarantined:  r.Gauge("scrub_quarantined_pages"),
+	}
 }
 
 // New creates a scrubber over dev, repairing through mgr (nil for a
 // verify-only scrubber). It does not start scanning; call Start.
 func New(clock *sim.Clock, events *sim.Queue, dev *ssd.SSD, mgr *core.Manager, cfg Config) *Scrubber {
+	cfg = cfg.withDefaults()
 	return &Scrubber{
 		clock:      clock,
 		events:     events,
 		dev:        dev,
 		mgr:        mgr,
-		cfg:        cfg.withDefaults(),
+		cfg:        cfg,
 		quarantine: make(map[mmu.PageID]Quarantined),
+		st:         newInstruments(cfg.Obs),
+		tr:         cfg.Obs.Tracer(),
 	}
 }
 
@@ -211,7 +255,15 @@ func (s *Scrubber) burstEvent(sim.Time) {
 	}
 	s.inBurst = true
 	s.stats.Bursts++
+	s.st.bursts.Inc()
+	sp := s.tr.Begin("scrub.burst", s.clock.Now())
+	detBefore := s.stats.Detections
 	s.scanBurst()
+	code := "ok"
+	if s.stats.Detections > detBefore {
+		code = "detect"
+	}
+	s.tr.Finish(sp, s.clock.Now(), code)
 	s.inBurst = false
 	s.scheduleNext()
 }
@@ -232,6 +284,7 @@ func (s *Scrubber) scanBurst() {
 	for n := 0; n < s.cfg.BurstPages; n++ {
 		if start >= len(pages) {
 			s.stats.Passes++
+			s.st.passes.Inc()
 			start = 0
 			if n > 0 {
 				break // don't re-scan pages within one burst
@@ -258,18 +311,22 @@ func (s *Scrubber) ScrubAll() uint64 {
 		s.checkPage(p)
 	}
 	s.stats.Passes++
+	s.st.passes.Inc()
 	return s.stats.Detections - before
 }
 
 // checkPage verifies one page and repairs or quarantines on mismatch.
 func (s *Scrubber) checkPage(page mmu.PageID) {
 	s.stats.PagesScanned++
+	s.st.pagesScanned.Inc()
 	if err := s.dev.VerifyPage(page); err == nil {
 		if _, wasQ := s.quarantine[page]; wasQ {
 			// A later application write re-cleaned the page; the durable
 			// copy is good again.
 			delete(s.quarantine, page)
 			s.stats.Cleared++
+			s.st.cleared.Inc()
+			s.st.quarantined.Set(int64(len(s.quarantine)))
 		}
 		return
 	}
@@ -278,6 +335,7 @@ func (s *Scrubber) checkPage(page mmu.PageID) {
 		return
 	}
 	s.stats.Detections++
+	s.st.detections.Inc()
 	if at, known := s.dev.CorruptedSince(page); known {
 		s.stats.TotalDetectLatency += s.clock.Now().Sub(at)
 		s.stats.timedDetections++
@@ -298,14 +356,18 @@ func (s *Scrubber) checkPage(page mmu.PageID) {
 	}
 	if dirtyBefore {
 		s.stats.RepairKicks++
+		s.st.repairKicks.Inc()
 	} else {
 		s.stats.Repairs++
+		s.st.repairs.Inc()
 	}
 }
 
 func (s *Scrubber) quarantinePage(page mmu.PageID, reason string) {
 	s.stats.Quarantines++
+	s.st.quarantines.Inc()
 	s.quarantine[page] = Quarantined{Page: page, At: s.clock.Now(), Reason: reason}
+	s.st.quarantined.Set(int64(len(s.quarantine)))
 }
 
 // ScrubErrors implements the health monitor's scrub-signal interface:

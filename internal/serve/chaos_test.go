@@ -96,6 +96,37 @@ func TestChaosConcurrentClients(t *testing.T) {
 			errors.Is(err, context.DeadlineExceeded)
 	}
 
+	// Observability reader: hammer the registry's consistent-read paths
+	// concurrently with the dispatch loop and every client goroutine —
+	// the race the metrics layer exists to make safe (run with -race).
+	stopSnap := make(chan struct{})
+	snapDone := make(chan struct{})
+	go func() {
+		defer close(snapDone)
+		reg := sys.Metrics()
+		for {
+			select {
+			case <-stopSnap:
+				return
+			default:
+				snap := reg.Snapshot()
+				for i := 1; i < len(snap.Counters); i++ {
+					if snap.Counters[i-1].Name >= snap.Counters[i].Name {
+						firstBad.CompareAndSwap(nil, "Snapshot counters unsorted")
+						untyped.Add(1)
+						return
+					}
+				}
+				var sink discardWriter
+				if err := reg.Export().WriteText(&sink); err != nil {
+					firstBad.CompareAndSwap(nil, fmt.Sprintf("WriteText: %v", err))
+					untyped.Add(1)
+					return
+				}
+			}
+		}
+	}()
+
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
 		go func(c int) {
@@ -162,6 +193,8 @@ func TestChaosConcurrentClients(t *testing.T) {
 		}(c)
 	}
 	wg.Wait()
+	close(stopSnap)
+	<-snapDone
 
 	if n := untyped.Load(); n > 0 {
 		t.Fatalf("%d untyped errors escaped, first: %v", n, firstBad.Load())
@@ -191,6 +224,31 @@ func TestChaosConcurrentClients(t *testing.T) {
 		t.Fatalf("dirty pages %d exceed budget %d", dirty, budget)
 	}
 
+	// The registry's instruments ARE the server's counters (one atomic
+	// source, no scattered stats): now that the run has quiesced, the
+	// snapshot must agree with Stats exactly.
+	snap := sys.Metrics().Snapshot()
+	counterValue := func(name string) uint64 {
+		for _, c := range snap.Counters {
+			if c.Name == name {
+				return c.Value
+			}
+		}
+		t.Fatalf("counter %s missing from snapshot", name)
+		return 0
+	}
+	if got := counterValue("serve_submitted_total"); got != st.Submitted {
+		t.Fatalf("serve_submitted_total %d != Stats().Submitted %d", got, st.Submitted)
+	}
+	if got := counterValue("serve_completed_total"); got != st.Completed {
+		t.Fatalf("serve_completed_total %d != Stats().Completed %d", got, st.Completed)
+	}
+
 	sys.Close()
 	verify()
 }
+
+// discardWriter sinks export bytes without retaining them.
+type discardWriter struct{}
+
+func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }

@@ -40,6 +40,7 @@ import (
 	"viyojit/internal/core"
 	"viyojit/internal/kvstore"
 	"viyojit/internal/mmu"
+	"viyojit/internal/obs"
 	"viyojit/internal/sim"
 )
 
@@ -133,6 +134,11 @@ type Config struct {
 	WatchdogStrikes int
 	// DisableWatchdog turns the stall detector off.
 	DisableWatchdog bool
+	// Obs is the observability registry the server publishes its
+	// counters, per-priority latency histograms, and request spans onto.
+	// nil creates a private registry; pass the manager's (viyojit.System
+	// does) so request spans parent the core's clean spans.
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -244,11 +250,56 @@ type Server struct {
 
 	loopDone chan struct{}
 
-	stSubmitted, stCompleted, stFailed atomic.Uint64
-	stShedOverload, stShedDeadline     atomic.Uint64
-	stShedReadOnly, stCancelled        atomic.Uint64
-	stStallPredicted, stWatchdogTrips  atomic.Uint64
-	stMaxQueue                         atomic.Int64
+	// st holds the registry-backed atomic counters, gauges, and
+	// per-priority latency histograms; tr records request spans.
+	st *instruments
+	tr *obs.Tracer
+}
+
+// instruments is the server's registry-backed metric storage. Counters
+// the Stats struct used to hold as raw atomics now live on obs
+// instruments, so the same numbers show up in Stats() and in a registry
+// Snapshot/export without double bookkeeping.
+type instruments struct {
+	submitted      *obs.Counter
+	completed      *obs.Counter
+	failed         *obs.Counter
+	shedOverload   *obs.Counter
+	shedDeadline   *obs.Counter
+	shedReadOnly   *obs.Counter
+	cancelled      *obs.Counter
+	stallPredicted *obs.Counter
+	watchdogTrips  *obs.Counter
+
+	queueDepth *obs.Gauge
+	queueMax   *obs.Gauge
+
+	queueWait *obs.Histogram
+	// latency is indexed by Priority: admission-to-completion time of
+	// completed requests, per priority class.
+	latency [int(PriorityHigh) + 1]*obs.Histogram
+}
+
+func newInstruments(r *obs.Registry) *instruments {
+	return &instruments{
+		submitted:      r.Counter("serve_submitted_total"),
+		completed:      r.Counter("serve_completed_total"),
+		failed:         r.Counter("serve_failed_total"),
+		shedOverload:   r.Counter("serve_shed_overload_total"),
+		shedDeadline:   r.Counter("serve_shed_deadline_total"),
+		shedReadOnly:   r.Counter("serve_shed_readonly_total"),
+		cancelled:      r.Counter("serve_cancelled_total"),
+		stallPredicted: r.Counter("serve_stall_predicted_total"),
+		watchdogTrips:  r.Counter("serve_watchdog_trips_total"),
+		queueDepth:     r.Gauge("serve_queue_depth"),
+		queueMax:       r.Gauge("serve_queue_max"),
+		queueWait:      r.Histogram("serve_queue_wait_ns"),
+		latency: [int(PriorityHigh) + 1]*obs.Histogram{
+			PriorityLow:    r.Histogram("serve_latency_low_ns"),
+			PriorityNormal: r.Histogram("serve_latency_normal_ns"),
+			PriorityHigh:   r.Histogram("serve_latency_high_ns"),
+		},
+	}
 }
 
 // New builds a server over an assembled stack. store may be nil when
@@ -266,6 +317,10 @@ func New(clock *sim.Clock, events *sim.Queue, mgr *core.Manager, store *kvstore.
 	if cfg.ShedWatermark <= 0 || cfg.ShedWatermark > 1 {
 		return nil, fmt.Errorf("serve: ShedWatermark %v outside (0,1]", cfg.ShedWatermark)
 	}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	s := &Server{
 		clock:    clock,
 		events:   events,
@@ -273,6 +328,8 @@ func New(clock *sim.Clock, events *sim.Queue, mgr *core.Manager, store *kvstore.
 		store:    store,
 		cfg:      cfg,
 		loopDone: make(chan struct{}),
+		st:       newInstruments(reg),
+		tr:       reg.Tracer(),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s, nil
@@ -338,19 +395,20 @@ func (s *Server) HealthState() core.HealthState { return core.HealthState(s.pubS
 // QueueLen returns current admission-queue occupancy.
 func (s *Server) QueueLen() int { return int(s.occupancy.Load()) }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters. Safe from any goroutine:
+// every field is an atomic load off the registry instruments.
 func (s *Server) Stats() Stats {
 	return Stats{
-		Submitted:        s.stSubmitted.Load(),
-		Completed:        s.stCompleted.Load(),
-		Failed:           s.stFailed.Load(),
-		ShedOverload:     s.stShedOverload.Load(),
-		ShedDeadline:     s.stShedDeadline.Load(),
-		ShedReadOnly:     s.stShedReadOnly.Load(),
-		Cancelled:        s.stCancelled.Load(),
-		StallPredicted:   s.stStallPredicted.Load(),
-		WatchdogTrips:    s.stWatchdogTrips.Load(),
-		MaxQueueObserved: int(s.stMaxQueue.Load()),
+		Submitted:        s.st.submitted.Value(),
+		Completed:        s.st.completed.Value(),
+		Failed:           s.st.failed.Value(),
+		ShedOverload:     s.st.shedOverload.Value(),
+		ShedDeadline:     s.st.shedDeadline.Value(),
+		ShedReadOnly:     s.st.shedReadOnly.Value(),
+		Cancelled:        s.st.cancelled.Value(),
+		StallPredicted:   s.st.stallPredicted.Value(),
+		WatchdogTrips:    s.st.watchdogTrips.Value(),
+		MaxQueueObserved: int(s.st.queueMax.Value()),
 	}
 }
 
@@ -379,7 +437,7 @@ func (h *Handle) Wait(ctx context.Context) (Result, error) {
 		return out.res, out.err
 	case <-ctx.Done():
 		h.it.cancelled.Store(true)
-		h.s.stCancelled.Add(1)
+		h.s.st.cancelled.Inc()
 		return Result{}, ctx.Err()
 	}
 }
@@ -398,7 +456,7 @@ func (s *Server) SubmitAsync(req Request) (*Handle, error) {
 	if req.Priority > PriorityHigh {
 		return nil, fmt.Errorf("serve: invalid priority %d", req.Priority)
 	}
-	s.stSubmitted.Add(1)
+	s.st.submitted.Inc()
 	now := sim.Time(s.pubNow.Load())
 	state := core.HealthState(s.pubState.Load())
 
@@ -410,23 +468,23 @@ func (s *Server) SubmitAsync(req Request) (*Handle, error) {
 	occ := int(s.occupancy.Load())
 	if occ >= s.cfg.MaxQueue {
 		s.mu.Unlock()
-		s.stShedOverload.Add(1)
+		s.st.shedOverload.Inc()
 		return nil, fmt.Errorf("%w: queue full (%d)", ErrOverloaded, s.cfg.MaxQueue)
 	}
 	if req.Priority == PriorityLow && float64(occ) >= s.cfg.ShedWatermark*float64(s.cfg.MaxQueue) {
 		s.mu.Unlock()
-		s.stShedOverload.Add(1)
+		s.st.shedOverload.Inc()
 		return nil, fmt.Errorf("%w: low-priority shed at watermark", ErrOverloaded)
 	}
 	if req.Write && req.Class == ClassClient {
 		switch {
 		case state >= core.StateEmergencyFlush:
 			s.mu.Unlock()
-			s.stShedReadOnly.Add(1)
+			s.st.shedReadOnly.Inc()
 			return nil, fmt.Errorf("%w: ladder at %v", ErrReadOnly, state)
 		case state == core.StateDegraded && req.Priority == PriorityLow:
 			s.mu.Unlock()
-			s.stShedOverload.Add(1)
+			s.st.shedOverload.Inc()
 			return nil, fmt.Errorf("%w: low-priority write shed while %v", ErrOverloaded, state)
 		}
 	}
@@ -436,12 +494,8 @@ func (s *Server) SubmitAsync(req Request) (*Handle, error) {
 	}
 	s.buckets[bucketOf(req)] = append(s.buckets[bucketOf(req)], it)
 	n := s.occupancy.Add(1)
-	for {
-		prev := s.stMaxQueue.Load()
-		if n <= prev || s.stMaxQueue.CompareAndSwap(prev, n) {
-			break
-		}
-	}
+	s.st.queueDepth.Set(n)
+	s.st.queueMax.SetMax(n)
 	s.cond.Signal()
 	s.mu.Unlock()
 	return &Handle{s: s, it: it}, nil
@@ -517,7 +571,7 @@ func (s *Server) popLocked() *item {
 		if len(s.buckets[b]) == 0 {
 			s.buckets[b] = nil // let the backing array go
 		}
-		s.occupancy.Add(-1)
+		s.st.queueDepth.Set(s.occupancy.Add(-1))
 		s.pops.Add(1)
 		return it
 	}
@@ -564,7 +618,7 @@ func (s *Server) failAllLocked() {
 			if !it.cancelled.Load() {
 				it.done <- outcome{err: ErrClosed}
 			}
-			s.occupancy.Add(-1)
+			s.st.queueDepth.Set(s.occupancy.Add(-1))
 		}
 		s.buckets[b] = nil
 	}
@@ -614,14 +668,18 @@ func (s *Server) stallEstimate() sim.Duration {
 	return sim.Duration(excess) * perPage
 }
 
-// serveOne applies the dequeue-time policy and executes the op.
+// serveOne applies the dequeue-time policy and executes the op. The
+// request span covers admission to completion; cleans the op triggers
+// inside the manager nest under it via the tracer scope.
 func (s *Server) serveOne(it *item) {
 	if it.cancelled.Load() {
 		return // client already gone; drop silently
 	}
 	now := s.clock.Now()
+	sp := s.tr.Begin("serve.request", it.enqueuedAt)
 	if it.deadline != 0 && now > it.deadline {
-		s.stShedDeadline.Add(1)
+		s.st.shedDeadline.Inc()
+		s.tr.Finish(sp, now, "shed_deadline")
 		it.done <- outcome{err: fmt.Errorf("%w: queued %v past deadline", ErrDeadlineExceeded, now.Sub(it.deadline))}
 		return
 	}
@@ -629,19 +687,22 @@ func (s *Server) serveOne(it *item) {
 		// Re-check the ladder with the live state: it may have
 		// escalated while the request was queued.
 		if s.mgr.WritesBlocked() {
-			s.stShedReadOnly.Add(1)
+			s.st.shedReadOnly.Inc()
+			s.tr.Finish(sp, now, "shed_readonly")
 			it.done <- outcome{err: fmt.Errorf("%w: ladder at %v", ErrReadOnly, s.mgr.HealthState())}
 			return
 		}
 		if s.mgr.HealthState() == core.StateDegraded && it.req.Priority == PriorityLow {
-			s.stShedOverload.Add(1)
+			s.st.shedOverload.Inc()
+			s.tr.Finish(sp, now, "shed_overload")
 			it.done <- outcome{err: fmt.Errorf("%w: low-priority write shed while Degraded", ErrOverloaded)}
 			return
 		}
 		if it.deadline != 0 {
 			if stall := s.stallEstimate(); stall > 0 && now.Add(stall+s.cfg.OpServiceTime) > it.deadline {
-				s.stShedDeadline.Add(1)
-				s.stStallPredicted.Add(1)
+				s.st.shedDeadline.Inc()
+				s.st.stallPredicted.Inc()
+				s.tr.Finish(sp, now, "shed_stall_predicted")
 				it.done <- outcome{err: fmt.Errorf("%w: predicted clean-stall %v misses deadline", ErrDeadlineExceeded, stall)}
 				return
 			}
@@ -651,26 +712,33 @@ func (s *Server) serveOne(it *item) {
 	if wait < 0 {
 		wait = 0
 	}
+	s.st.queueWait.Record(wait)
+	prevScope := s.tr.SetScope(sp.ID)
 	s.clock.Advance(s.cfg.OpServiceTime)
 	val, err := it.req.Op(Exec{Store: s.store, Mgr: s.mgr, Now: s.clock.Now()})
 	s.pump()
+	s.tr.SetScope(prevScope)
 	if err != nil {
 		// A write racing a ladder escalation surfaces mmu.ErrProtected
 		// from deep inside the store; give the client the typed error.
 		if errors.Is(err, mmu.ErrProtected) {
 			err = errors.Join(ErrReadOnly, err)
-			s.stShedReadOnly.Add(1)
+			s.st.shedReadOnly.Inc()
+			s.tr.Finish(sp, s.clock.Now(), "shed_readonly")
 		} else {
-			s.stFailed.Add(1)
+			s.st.failed.Inc()
+			s.tr.Finish(sp, s.clock.Now(), "failed")
 		}
 		it.done <- outcome{err: err}
 		return
 	}
-	s.stCompleted.Add(1)
+	s.st.completed.Inc()
 	lat := s.clock.Now().Sub(it.enqueuedAt)
 	if lat < 0 {
 		lat = 0
 	}
+	s.st.latency[it.req.Priority].Record(lat)
+	s.tr.Finish(sp, s.clock.Now(), "ok")
 	it.done <- outcome{res: Result{Value: val, Wait: wait, Latency: lat}}
 }
 
@@ -712,7 +780,7 @@ func (s *Server) maybeTrip() {
 	if !s.wdTrip.Swap(false) {
 		return
 	}
-	s.stWatchdogTrips.Add(1)
+	s.st.watchdogTrips.Inc()
 	if remaining := s.mgr.EnterEmergencyFlush(); remaining > 0 {
 		s.mgr.EnterReadOnly()
 	}
@@ -721,7 +789,7 @@ func (s *Server) maybeTrip() {
 
 // Tripped reports whether the watchdog has ever forced an emergency
 // flush.
-func (s *Server) Tripped() bool { return s.stWatchdogTrips.Load() > 0 }
+func (s *Server) Tripped() bool { return s.st.watchdogTrips.Value() > 0 }
 
 // ManagerStats reads the manager's counters on the dispatch goroutine —
 // the race-free way for a concurrent observer to sample them while the

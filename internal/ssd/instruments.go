@@ -1,0 +1,52 @@
+package ssd
+
+import "viyojit/internal/obs"
+
+// instruments mirrors the device counters onto an observability
+// registry. The struct is a value; with no registry attached every
+// field is nil and the obs methods no-op, so the hot paths record
+// unconditionally. Stats remains the source of truth — the mirror
+// exists so exports and concurrent readers see device activity without
+// touching the single-goroutine Stats struct.
+type instruments struct {
+	writesSubmitted *obs.Counter
+	writesCompleted *obs.Counter
+	readsCompleted  *obs.Counter
+	bytesWritten    *obs.Counter
+	bytesRead       *obs.Counter
+	submitStalls    *obs.Counter
+	writeErrors     *obs.Counter
+	tornWrites      *obs.Counter
+	verifyChecks    *obs.Counter
+	verifyFailures  *obs.Counter
+
+	queueDepth *obs.Gauge
+	queueMax   *obs.Gauge
+
+	writeLatency *obs.Histogram
+}
+
+// AttachObs mirrors the device's counters onto reg. Call before
+// traffic; counting starts from the attach point (prior activity is
+// not back-filled). A nil registry detaches the mirror.
+func (d *SSD) AttachObs(reg *obs.Registry) {
+	if reg == nil {
+		d.st = instruments{}
+		return
+	}
+	d.st = instruments{
+		writesSubmitted: reg.Counter("ssd_writes_submitted_total"),
+		writesCompleted: reg.Counter("ssd_writes_completed_total"),
+		readsCompleted:  reg.Counter("ssd_reads_completed_total"),
+		bytesWritten:    reg.Counter("ssd_bytes_written_total"),
+		bytesRead:       reg.Counter("ssd_bytes_read_total"),
+		submitStalls:    reg.Counter("ssd_submit_stalls_total"),
+		writeErrors:     reg.Counter("ssd_write_errors_total"),
+		tornWrites:      reg.Counter("ssd_torn_writes_total"),
+		verifyChecks:    reg.Counter("ssd_verify_checks_total"),
+		verifyFailures:  reg.Counter("ssd_verify_failures_total"),
+		queueDepth:      reg.Gauge("ssd_queue_depth"),
+		queueMax:        reg.Gauge("ssd_queue_max"),
+		writeLatency:    reg.Histogram("ssd_write_latency_ns"),
+	}
+}

@@ -124,6 +124,7 @@ func (d *SSD) DurableChecksum(page mmu.PageID) (uint64, bool) {
 // error wrapping ErrCorruptPage otherwise.
 func (d *SSD) VerifyPage(page mmu.PageID) error {
 	d.stats.VerifyChecks++
+	d.st.verifyChecks.Inc()
 	data, hasData := d.store[page]
 	sum, hasSum := d.sums[page]
 	switch {
@@ -131,12 +132,15 @@ func (d *SSD) VerifyPage(page mmu.PageID) error {
 		return nil
 	case !hasData:
 		d.stats.VerifyFailures++
+		d.st.verifyFailures.Inc()
 		return fmt.Errorf("%w: page %d acked but absent from the store (lost write)", ErrCorruptPage, page)
 	case !hasSum:
 		d.stats.VerifyFailures++
+		d.st.verifyFailures.Inc()
 		return fmt.Errorf("%w: page %d present with no acked checksum (misdirected or torn write)", ErrCorruptPage, page)
 	case Checksum(data) != sum:
 		d.stats.VerifyFailures++
+		d.st.verifyFailures.Inc()
 		return fmt.Errorf("%w: page %d", ErrCorruptPage, page)
 	}
 	return nil

@@ -140,6 +140,10 @@ type SSD struct {
 	// measured-bandwidth/latency estimators (see MeasuredWriteBandwidth).
 	window []measureSample
 	winPos int
+
+	// st mirrors the counters onto an observability registry
+	// (instruments.go); zero-valued until AttachObs.
+	st instruments
 }
 
 // measureSample is one completed write in the measurement window.
@@ -200,6 +204,7 @@ func (d *SSD) WritePageAsync(page mmu.PageID, data []byte, onComplete func(sim.T
 	data = snap
 	for d.inflight >= d.cfg.MaxOutstanding {
 		d.stats.SubmitStalls++
+		d.st.submitStalls.Inc()
 		if !d.events.Step(d.clock) {
 			panic("ssd: queue full with no pending events; completion event lost")
 		}
@@ -209,6 +214,9 @@ func (d *SSD) WritePageAsync(page mmu.PageID, data []byte, onComplete func(sim.T
 		d.stats.MaxQueueDepth = d.inflight
 	}
 	d.stats.WritesSubmitted++
+	d.st.writesSubmitted.Inc()
+	d.st.queueDepth.Set(int64(d.inflight))
+	d.st.queueMax.SetMax(int64(d.inflight))
 
 	var fault FaultDecision
 	if d.faults != nil {
@@ -238,9 +246,11 @@ func (d *SSD) WritePageAsync(page mmu.PageID, data []byte, onComplete func(sim.T
 		case FaultTransient:
 			// The attempt consumed bus time but nothing landed.
 			d.stats.WriteErrors++
+			d.st.writeErrors.Inc()
 			err = ErrWriteFault
 		case FaultTorn:
 			d.stats.TornWrites++
+			d.st.tornWrites.Inc()
 			d.applyTorn(page, data)
 			err = ErrTornWrite
 		case FaultLost:
@@ -284,6 +294,10 @@ func (d *SSD) WritePageAsync(page mmu.PageID, data []byte, onComplete func(sim.T
 		d.stats.WritesCompleted++
 		d.stats.TotalWriteLag += at.Sub(submitted)
 		d.stats.completedForAvg++
+		d.st.writesCompleted.Inc()
+		d.st.bytesWritten.Add(uint64(goodput))
+		d.st.queueDepth.Set(int64(d.inflight))
+		d.st.writeLatency.Record(at.Sub(submitted))
 		d.recordSample(measureSample{submitted: submitted, done: at, bytes: goodput})
 		if onComplete != nil {
 			onComplete(at, err)
@@ -347,6 +361,9 @@ func (d *SSD) WriteBatch(pages map[mmu.PageID][]byte) sim.Time {
 		d.stats.BytesWritten += uint64(len(data))
 		d.stats.WritesCompleted++
 		d.stats.WritesSubmitted++
+		d.st.bytesWritten.Add(uint64(len(data)))
+		d.st.writesCompleted.Inc()
+		d.st.writesSubmitted.Inc()
 	}
 	return d.clock.Now()
 }
@@ -358,6 +375,8 @@ func (d *SSD) ReadPage(page mmu.PageID) []byte {
 	d.clock.Advance(d.cfg.PerIOLatency + transferTime(d.cfg.PageSize, d.cfg.ReadBandwidth))
 	d.stats.ReadsCompleted++
 	d.stats.BytesRead += uint64(d.cfg.PageSize)
+	d.st.readsCompleted.Inc()
+	d.st.bytesRead.Add(uint64(d.cfg.PageSize))
 	data, ok := d.store[page]
 	if !ok {
 		return nil

@@ -28,12 +28,14 @@ package viyojit
 import (
 	"context"
 	"fmt"
+	"io"
 
 	"viyojit/internal/battery"
 	"viyojit/internal/core"
 	"viyojit/internal/health"
 	"viyojit/internal/kvstore"
 	"viyojit/internal/nvdram"
+	"viyojit/internal/obs"
 	"viyojit/internal/pheap"
 	"viyojit/internal/power"
 	"viyojit/internal/recovery"
@@ -88,6 +90,14 @@ type (
 	ServeStats = serve.Stats
 	// ServeExec is the execution context a request's Op receives.
 	ServeExec = serve.Exec
+	// MetricsRegistry is the system-wide observability registry
+	// returned by System.Metrics.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a consistent point-in-time view of every
+	// instrument (obs.Registry.Snapshot).
+	MetricsSnapshot = obs.Snapshot
+	// MetricsExport bundles a metrics snapshot with the trace-span log.
+	MetricsExport = obs.Export
 )
 
 // Serving-layer request classes and priorities (see internal/serve).
@@ -198,6 +208,7 @@ type System struct {
 	monitor  *health.Monitor
 	scrubber *scrub.Scrubber
 	server   *serve.Server
+	reg      *obs.Registry
 	cfg      Config
 }
 
@@ -220,6 +231,7 @@ func New(cfg Config) (*System, error) {
 
 	clock := sim.NewClock()
 	events := sim.NewQueue()
+	reg := obs.NewRegistry()
 	region, err := nvdram.New(clock, nvdram.Config{Size: cfg.NVDRAMSize, PageSize: cfg.PageSize})
 	if err != nil {
 		return nil, err
@@ -229,6 +241,7 @@ func New(cfg Config) (*System, error) {
 		devCfg.PageSize = region.PageSize()
 	}
 	dev := ssd.New(clock, events, devCfg)
+	dev.AttachObs(reg)
 
 	conservativeBW := int64(float64(dev.Config().WriteBandwidth) * cfg.BandwidthDerating)
 	battCfg := cfg.Battery
@@ -273,6 +286,7 @@ func New(cfg Config) (*System, error) {
 		Policy:           cfg.Policy,
 		SampleEvery:      cfg.SampleEvery,
 		HardwareAssist:   cfg.HardwareAssist,
+		Obs:              reg,
 	})
 	if err != nil {
 		return nil, err
@@ -288,7 +302,15 @@ func New(cfg Config) (*System, error) {
 		}
 		_ = mgr.SetDirtyBudgetSync(pages)
 	})
+	// Publish battery energy the moment it changes (the health monitor
+	// refreshes the same gauge each tick; capacity events should not
+	// wait for the next tick to show up in exports). Milli-joules keep
+	// the gauge integral.
+	battGauge := reg.Gauge("battery_effective_millijoules")
+	battGauge.Set(int64(batt.EffectiveJoules() * 1000))
+	reg.Gauge("battery_nameplate_millijoules").Set(int64(batt.NameplateJoules() * 1000))
 	batt.OnChange(func(b *battery.Battery) {
+		battGauge.Set(int64(b.EffectiveJoules() * 1000))
 		pages := budgetForJoules(b.EffectiveJoules())
 		if pages < 1 {
 			pages = 1
@@ -305,6 +327,9 @@ func New(cfg Config) (*System, error) {
 		if hcfg.FlushOverhead == 0 {
 			hcfg.FlushOverhead = fixedFlushOverhead
 		}
+		if hcfg.Obs == nil {
+			hcfg.Obs = reg
+		}
 		mon, err = health.NewMonitor(events, clock, batt, mgr, cfg.Power, hcfg)
 		if err != nil {
 			return nil, err
@@ -314,7 +339,11 @@ func New(cfg Config) (*System, error) {
 	// The scrubber always exists (on-demand Scrub calls work regardless);
 	// only the paced background scan is optional. Its detections feed the
 	// health monitor's ladder decisions.
-	scr := scrub.New(clock, events, dev, mgr, cfg.Scrub)
+	scrCfg := cfg.Scrub
+	if scrCfg.Obs == nil {
+		scrCfg.Obs = reg
+	}
+	scr := scrub.New(clock, events, dev, mgr, scrCfg)
 	if !cfg.DisableScrubber {
 		scr.Start()
 	}
@@ -332,6 +361,7 @@ func New(cfg Config) (*System, error) {
 		manager:  mgr,
 		monitor:  mon,
 		scrubber: scr,
+		reg:      reg,
 		cfg:      cfg,
 	}, nil
 }
@@ -366,6 +396,29 @@ func (s *System) DirtyCount() int { return s.manager.DirtyCount() }
 
 // Stats returns the manager's counters.
 func (s *System) Stats() ManagerStats { return s.manager.Stats() }
+
+// Metrics returns the system-wide observability registry: every
+// subsystem (core, serve, scrub, health, ssd, battery) records onto it,
+// and Snapshot/Export are safe to call concurrently with the serve
+// dispatch loop.
+func (s *System) Metrics() *MetricsRegistry { return s.reg }
+
+// MetricsExport captures a consistent snapshot of every instrument plus
+// the trace-span log. For a seeded single-goroutine run the export is
+// byte-for-byte deterministic.
+func (s *System) MetricsExport() MetricsExport { return s.reg.Export() }
+
+// WriteMetricsText writes the line-oriented text exposition of the
+// current metrics and trace to w.
+func (s *System) WriteMetricsText(w io.Writer) error {
+	return s.reg.Export().WriteText(w)
+}
+
+// WriteMetricsJSON writes the indented JSON exposition of the current
+// metrics and trace to w.
+func (s *System) WriteMetricsJSON(w io.Writer) error {
+	return s.reg.Export().WriteJSON(w)
+}
 
 // Samples returns the dirty-footprint observability ring (empty unless
 // Config.SampleEvery was set).
@@ -477,6 +530,9 @@ func (s *System) NewStore(name string, size int64) (*kvstore.Store, error) {
 func (s *System) Serve(store *kvstore.Store, cfg ServeConfig) (*serve.Server, error) {
 	if s.server != nil {
 		return nil, fmt.Errorf("viyojit: already serving")
+	}
+	if cfg.Obs == nil {
+		cfg.Obs = s.reg
 	}
 	srv, err := serve.New(s.clock, s.events, s.manager, store, cfg)
 	if err != nil {
