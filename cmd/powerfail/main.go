@@ -14,6 +14,12 @@
 // on-demand scrub are then what stand between those faults and the
 // durability check.
 //
+// The -serve-sweep mode runs the live-traffic exactly-once crash sweep
+// instead: concurrent retrying clients drive idempotent mutations
+// through a real serving front-end with a battery-backed intent journal,
+// power fails at swept event steps, and every recovery is checked for
+// zero lost acks and zero double-applies.
+//
 // Usage:
 //
 //	powerfail [-size BYTES] [-seed S]
@@ -21,6 +27,7 @@
 //	          [-lost-prob P] [-misdirect-prob P] [-rot-prob P]
 //	          [-scrub-share F] [-no-scrub]
 //	          [-sag FRACTION] [-crash-step N]
+//	powerfail -serve-sweep [-serve-points N] [-serve-clients N] [-seed S]
 package main
 
 import (
@@ -31,6 +38,7 @@ import (
 
 	"viyojit"
 	"viyojit/internal/faultinject"
+	"viyojit/internal/faultinject/crashsweep"
 	"viyojit/internal/sim"
 )
 
@@ -49,7 +57,15 @@ func main() {
 	sag := flag.Float64("sag", 0, "battery derating applied mid-run, e.g. 0.7 (0 = no sag)")
 	crashStep := flag.Uint64("crash-step", 0, "pull the plug at this event-queue step (0 = after the workload)")
 	metricsOut := flag.String("metrics", "", `dump the system's metrics/trace export to this file after the durability check ("-" = stdout; a .json suffix selects JSON, otherwise text)`)
+	serveSweep := flag.Bool("serve-sweep", false, "run the live-traffic exactly-once crash sweep instead of the durability demo")
+	servePoints := flag.Int("serve-points", 200, "crash points for -serve-sweep")
+	serveClients := flag.Int("serve-clients", 10, "concurrent retrying clients for -serve-sweep")
 	flag.Parse()
+
+	if *serveSweep {
+		runServeSweep(*seed, *servePoints, *serveClients)
+		return
+	}
 
 	sys, err := viyojit.New(viyojit.Config{
 		NVDRAMSize:      *size,
@@ -229,6 +245,42 @@ func main() {
 		fatal(err)
 	}
 	fmt.Println("recovered heap readable at DRAM latency — cache starts warm")
+}
+
+// runServeSweep narrates the live-traffic exactly-once crash sweep:
+// power failures injected at swept event steps while concurrent clients
+// drive idempotent mutations, each followed by recovery, retry-stream
+// replay, and a per-key exactly-once oracle.
+func runServeSweep(seed uint64, points, clients int) {
+	fmt.Printf("live-traffic crash sweep: %d crash points, %d retrying clients, seed %#x\n",
+		points, clients, seed)
+	res, err := crashsweep.RunServe(crashsweep.ServeConfig{
+		Seed:           seed,
+		Clients:        clients,
+		MaxCrashPoints: points,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("baseline %d events, stride %d; %d runs crashed mid-traffic, %d ran past their step\n",
+		res.BaselineEvents, res.Stride, res.CrashPoints, res.Completed)
+	fmt.Printf("acked %d mutations; in-doubt at crash and replayed: %d (deduped %d, recovery-redone %d, fresh %d)\n",
+		res.AckedMutations, res.InDoubtReplayed, res.ReplayDeduped, res.ReplayRedone, res.ReplayFresh)
+	fmt.Printf("retries of acked ops absorbed by recovered journals: %d; torn journal tails dropped: %d\n",
+		res.AckedRetryDedups, res.TornOpens)
+	fmt.Printf("max dirty at crash: %d pages (journal pages dirty at %d of %d crash instants)\n",
+		res.MaxDirtyAtCrash, res.JournalDirtyCrashes, res.CrashPoints)
+	if res.MutationBytes > 0 {
+		fmt.Printf("journal write amplification: %d journal bytes / %d mutation bytes = %.2fx\n",
+			res.JournalBytes, res.MutationBytes, float64(res.JournalBytes)/float64(res.MutationBytes))
+	}
+	if len(res.Violations) > 0 {
+		for _, v := range res.Violations {
+			fmt.Fprintf(os.Stderr, "VIOLATION step %d: %s\n", v.Step, v.Msg)
+		}
+		fatal(fmt.Errorf("%d exactly-once violations", len(res.Violations)))
+	}
+	fmt.Println("exactly-once held at every crash point: zero lost acks, zero double-applies")
 }
 
 // dumpMetrics writes the system's metrics/trace export to path: stdout

@@ -66,6 +66,18 @@ func (c *Crasher) Disarm() { c.armed = false }
 // where.
 func (c *Crasher) Crashed() (CrashPoint, bool) { return c.point, c.crashed }
 
+// AsCrash classifies a recovered panic value: it returns the crash
+// point and true iff the value is a Crasher's power-failure signal.
+// Components that own their own goroutines (the serve dispatch loop)
+// use it as the Config.RecoverCrash filter, so simulated power failures
+// are contained while real bugs still crash the process.
+func AsCrash(v any) (CrashPoint, bool) {
+	if sig, ok := v.(crashSignal); ok {
+		return sig.cp, true
+	}
+	return CrashPoint{}, false
+}
+
 // Run executes fn, converting the armed crash — if it fires — into a
 // normal return. It returns the crash point and true if the power
 // failure fired, or a zero point and false if fn completed first. Any

@@ -1,0 +1,346 @@
+package intent
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"viyojit/internal/obs"
+)
+
+type memStore struct{ data []byte }
+
+func newMemStore(size int) *memStore { return &memStore{data: make([]byte, size)} }
+
+func (m *memStore) Size() int64 { return int64(len(m.data)) }
+
+func (m *memStore) ReadAt(p []byte, off int64) error {
+	if off < 0 || off+int64(len(p)) > int64(len(m.data)) {
+		return errors.New("memStore: out of range")
+	}
+	copy(p, m.data[off:])
+	return nil
+}
+
+func (m *memStore) WriteAt(p []byte, off int64) error {
+	if off < 0 || off+int64(len(p)) > int64(len(m.data)) {
+		return errors.New("memStore: out of range")
+	}
+	copy(m.data[off:], p)
+	return nil
+}
+
+func mustCreate(t *testing.T, size int, window int) (*Journal, *memStore) {
+	t.Helper()
+	ms := newMemStore(size)
+	j, err := Create(ms, Config{Window: window})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j, ms
+}
+
+func TestCreateValidation(t *testing.T) {
+	if _, err := Create(newMemStore(MinStoreBytes-1), Config{}); err == nil {
+		t.Fatal("undersized store accepted")
+	}
+	if _, err := Create(newMemStore(MinStoreBytes), Config{}); err != nil {
+		t.Fatalf("minimum store rejected: %v", err)
+	}
+}
+
+func TestOpenRejectsNonJournal(t *testing.T) {
+	if _, err := Open(newMemStore(1<<16), nil); !errors.Is(err, ErrNoJournal) {
+		t.Fatalf("err = %v, want ErrNoJournal", err)
+	}
+}
+
+func TestProtocolStates(t *testing.T) {
+	j, _ := mustCreate(t, 1<<16, 8)
+
+	if _, st := j.Lookup(7, 1); st != StateNew {
+		t.Fatalf("unseen pair state = %v", st)
+	}
+	sum := Checksum([]byte("k"), []byte("v1"), 0)
+	if err := j.Begin(7, 1, sum, []byte("k"), []byte("v1"), false); err != nil {
+		t.Fatal(err)
+	}
+	e, st := j.Lookup(7, 1)
+	if st != StateInFlight || !bytes.Equal(e.RedoKey, []byte("k")) || !bytes.Equal(e.RedoVal, []byte("v1")) || e.OpSum != sum {
+		t.Fatalf("in-flight view = %+v state %v", e, st)
+	}
+	if err := j.Complete(7, 1, 3, []byte("res")); err != nil {
+		t.Fatal(err)
+	}
+	e, st = j.Lookup(7, 1)
+	if st != StateDone || e.Code != 3 || !bytes.Equal(e.Result, []byte("res")) {
+		t.Fatalf("done view = %+v state %v", e, st)
+	}
+	if e.RedoKey != nil || e.RedoVal != nil {
+		t.Fatal("redo image retained after Complete")
+	}
+}
+
+func TestBeginValidation(t *testing.T) {
+	j, _ := mustCreate(t, 1<<16, 8)
+	if err := j.Begin(0, 1, 0, []byte("k"), nil, true); err == nil {
+		t.Fatal("zero client accepted")
+	}
+	if err := j.Begin(1, 0, 0, []byte("k"), nil, true); err == nil {
+		t.Fatal("zero seq accepted")
+	}
+	if err := j.Begin(1, 1, 0, []byte("k"), nil, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Begin(1, 1, 0, []byte("k"), nil, true); !errors.Is(err, ErrSeqReuse) {
+		t.Fatalf("duplicate Begin err = %v, want ErrSeqReuse", err)
+	}
+}
+
+func TestWindowGC(t *testing.T) {
+	const W = 4
+	j, _ := mustCreate(t, 1<<16, W)
+	for s := uint64(1); s <= 10; s++ {
+		if err := j.Begin(1, s, s, []byte("k"), []byte("v"), false); err != nil {
+			t.Fatalf("seq %d: %v", s, err)
+		}
+		if err := j.Complete(1, s, 0, nil); err != nil {
+			t.Fatalf("seq %d: %v", s, err)
+		}
+	}
+	// maxSeq=10, W=4 → low=7: seqs 7..10 retryable, 1..6 GC'd.
+	for s := uint64(1); s <= 6; s++ {
+		if _, st := j.Lookup(1, s); st != StateBelowWindow {
+			t.Fatalf("seq %d state = %v, want below-window", s, st)
+		}
+	}
+	for s := uint64(7); s <= 10; s++ {
+		if _, st := j.Lookup(1, s); st != StateDone {
+			t.Fatalf("seq %d state = %v, want done", s, st)
+		}
+	}
+	if err := j.Begin(1, 3, 3, []byte("k"), []byte("v"), false); !errors.Is(err, ErrStaleSeq) {
+		t.Fatalf("below-window Begin err = %v, want ErrStaleSeq", err)
+	}
+	if err := j.Complete(1, 3, 0, nil); !errors.Is(err, ErrStaleSeq) {
+		t.Fatalf("below-window Complete err = %v, want ErrStaleSeq", err)
+	}
+	if got := j.Stats().GCDropped; got != 6 {
+		t.Fatalf("GCDropped = %d, want 6", got)
+	}
+}
+
+func TestCompactionPreservesTableAndSurvivesReopen(t *testing.T) {
+	// Small journal so live traffic forces several compactions.
+	j, ms := mustCreate(t, MinStoreBytes+4096*4, 6)
+	val := bytes.Repeat([]byte("x"), 200)
+	for s := uint64(1); s <= 200; s++ {
+		client := uint64(1 + s%3)
+		if err := j.Begin(client, 1+(s-1)/3, s, []byte(fmt.Sprintf("key-%d", s%17)), val, false); err != nil {
+			t.Fatalf("seq %d: %v", s, err)
+		}
+		if err := j.Complete(client, 1+(s-1)/3, byte(s%5), []byte("r")); err != nil {
+			t.Fatalf("seq %d: %v", s, err)
+		}
+	}
+	if j.Stats().Compactions == 0 {
+		t.Fatal("no compaction triggered; test is vacuous")
+	}
+	before := j.Snapshot()
+	j2, err := Open(ms, obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSnapshotsEqual(t, before, j2.Snapshot())
+	if j2.Gen() != j.Gen() {
+		t.Fatalf("reopened gen %d != live gen %d", j2.Gen(), j.Gen())
+	}
+	if j2.Window() != 6 {
+		t.Fatalf("window not persisted: %d", j2.Window())
+	}
+}
+
+func TestExplicitCompactIdempotentState(t *testing.T) {
+	j, ms := mustCreate(t, 1<<16, 8)
+	for s := uint64(1); s <= 5; s++ {
+		if err := j.Begin(2, s, s, []byte("k"), []byte("v"), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gen := j.Gen()
+	if err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if j.Gen() != gen+1 {
+		t.Fatalf("gen after compact = %d, want %d", j.Gen(), gen+1)
+	}
+	j2, err := Open(ms, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSnapshotsEqual(t, j.Snapshot(), j2.Snapshot())
+}
+
+func TestJournalFullAndUnjournaledComplete(t *testing.T) {
+	// Minimum-size journal: each half has 4096 record bytes. Two fat
+	// in-flight intents fill a half AND their compaction snapshot, so a
+	// third Begin has nowhere to go even after compaction.
+	j, _ := mustCreate(t, MinStoreBytes, 16)
+	fat := bytes.Repeat([]byte("z"), 1800)
+	if err := j.Begin(1, 1, 1, []byte("a"), fat, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Begin(1, 2, 2, []byte("b"), fat, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Begin(1, 3, 3, []byte("c"), fat, false); !errors.Is(err, ErrJournalFull) {
+		t.Fatalf("third fat Begin err = %v, want ErrJournalFull", err)
+	}
+	if _, st := j.Lookup(1, 3); st != StateNew {
+		t.Fatalf("failed Begin left table entry: state %v", st)
+	}
+	// A fat result cannot be journaled either — Complete reports the
+	// error but the table must still advance (retry costs one extra
+	// redo re-apply, never a double apply).
+	if err := j.Complete(1, 1, 9, bytes.Repeat([]byte("r"), 600)); err == nil {
+		t.Fatal("expected unjournaled-complete error")
+	}
+	e, st := j.Lookup(1, 1)
+	if st != StateDone || e.Code != 9 {
+		t.Fatalf("table did not advance on unjournaled complete: %v %+v", st, e)
+	}
+}
+
+func TestChecksumDistinguishesOps(t *testing.T) {
+	a := Checksum([]byte("k"), []byte("v"), 0)
+	if a != Checksum([]byte("k"), []byte("v"), 0) {
+		t.Fatal("checksum not deterministic")
+	}
+	for _, other := range []uint64{
+		Checksum([]byte("k"), []byte("w"), 0),
+		Checksum([]byte("l"), []byte("v"), 0),
+		Checksum([]byte("k"), []byte("v"), 1),
+		Checksum([]byte("kv"), nil, 0),
+	} {
+		if other == a {
+			t.Fatal("checksum collision across distinct ops")
+		}
+	}
+}
+
+func assertSnapshotsEqual(t *testing.T, a, b map[uint64]ClientSnapshot) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("client count %d != %d", len(a), len(b))
+	}
+	for c, ca := range a {
+		cb, ok := b[c]
+		if !ok {
+			t.Fatalf("client %d missing", c)
+		}
+		if ca.Low != cb.Low || ca.MaxSeq != cb.MaxSeq {
+			t.Fatalf("client %d window (%d,%d) != (%d,%d)", c, ca.Low, ca.MaxSeq, cb.Low, cb.MaxSeq)
+		}
+		if len(ca.Entries) != len(cb.Entries) {
+			t.Fatalf("client %d entry count %d != %d", c, len(ca.Entries), len(cb.Entries))
+		}
+		for s, ea := range ca.Entries {
+			eb, ok := cb.Entries[s]
+			if !ok {
+				t.Fatalf("client %d seq %d missing", c, s)
+			}
+			if ea.OpSum != eb.OpSum || ea.Done != eb.Done || ea.Code != eb.Code ||
+				ea.Tombstone != eb.Tombstone ||
+				!bytes.Equal(ea.RedoKey, eb.RedoKey) || !bytes.Equal(ea.RedoVal, eb.RedoVal) ||
+				!bytes.Equal(ea.Result, eb.Result) {
+				t.Fatalf("client %d seq %d entry mismatch:\n  %+v\n  %+v", c, s, ea, eb)
+			}
+		}
+	}
+}
+
+// cutStore models power failure mid-write: the first `budget` bytes of
+// write traffic land, everything after is lost, possibly tearing a
+// record or header write down the middle.
+type cutStore struct {
+	*memStore
+	budget int
+}
+
+func (c *cutStore) WriteAt(p []byte, off int64) error {
+	if c.budget <= 0 {
+		return nil // power is gone; writes vanish
+	}
+	n := len(p)
+	if n > c.budget {
+		n = c.budget
+	}
+	c.budget -= n
+	return c.memStore.WriteAt(p[:n], off)
+}
+
+// Crash-prefix property: cut the write stream at every byte budget and
+// the journal must reopen with a table that is a consistent prefix of
+// the committed protocol history — acked (Completed) requests may only
+// disappear wholesale with their intent (never resurface as in-flight
+// with a *different* redo), and nothing ever decodes as garbage.
+func TestCrashCutPrefix(t *testing.T) {
+	type opRec struct {
+		seq   uint64
+		sum   uint64
+		acked bool
+	}
+	runHistory := func(st Store) []opRec {
+		j, err := Create(st, Config{Window: 4})
+		if err != nil {
+			return nil // header itself torn; Open must reject, checked below
+		}
+		var hist []opRec
+		val := bytes.Repeat([]byte("v"), 64)
+		for s := uint64(1); s <= 40; s++ {
+			if err := j.Begin(1, s, s*7, []byte(fmt.Sprintf("key-%d", s)), val, s%5 == 0); err != nil {
+				break
+			}
+			hist = append(hist, opRec{seq: s, sum: s * 7})
+			if s%3 != 0 { // leave every third op in flight
+				if err := j.Complete(1, s, byte(s), nil); err != nil {
+					break
+				}
+				hist[len(hist)-1].acked = true
+			}
+		}
+		return hist
+	}
+
+	// Full run to size the write stream.
+	full := &cutStore{memStore: newMemStore(1 << 15), budget: 1 << 30}
+	fullHist := runHistory(full)
+	if len(fullHist) != 40 {
+		t.Fatalf("full history ran %d ops, want 40", len(fullHist))
+	}
+	total := (1 << 30) - full.budget
+
+	for cut := 0; cut <= total; cut += 97 {
+		cs := &cutStore{memStore: newMemStore(1 << 15), budget: cut}
+		hist := runHistory(cs)
+		j2, err := Open(cs.memStore, nil)
+		if errors.Is(err, ErrNoJournal) {
+			continue // crashed before the magic landed — correct refusal
+		}
+		if err != nil {
+			t.Fatalf("cut %d: reopen failed: %v", cut, err)
+		}
+		snap := j2.Snapshot()[1]
+		for _, op := range hist {
+			e, ok := snap.Entries[op.seq]
+			if !ok {
+				continue // lost with the torn tail or GC'd — allowed
+			}
+			if e.OpSum != op.sum {
+				t.Fatalf("cut %d: seq %d rebuilt with wrong opSum %d (want %d)", cut, op.seq, e.OpSum, op.sum)
+			}
+		}
+		_ = hist
+	}
+}

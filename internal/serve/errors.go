@@ -1,6 +1,10 @@
 package serve
 
-import "errors"
+import (
+	"errors"
+
+	"viyojit/internal/intent"
+)
 
 // The typed rejection taxonomy. Every request the server refuses carries
 // exactly one of these (possibly wrapped), so clients can distinguish
@@ -28,4 +32,41 @@ var (
 
 	// ErrClosed means the server was stopped before the request ran.
 	ErrClosed = errors.New("serve: server closed")
+
+	// ErrPowerFailure means a simulated power failure killed the
+	// dispatch loop: the request (queued or in flight) got no ack, and
+	// its effects are exactly what recovery replays — an intent-journal
+	// retry against the recovered server is safe and will not
+	// double-apply.
+	ErrPowerFailure = errors.New("serve: power failure, request outcome unknown")
+
+	// ErrRetriesExhausted means a RetryingClient gave up: every attempt
+	// drew a retryable rejection and the attempt or deadline budget ran
+	// out. The wrapped error chain carries the last rejection.
+	ErrRetriesExhausted = errors.New("serve: retries exhausted")
+
+	// ErrStaleSeq re-exports intent.ErrStaleSeq: the retried sequence
+	// number fell below the client's dedup window, which only happens if
+	// the client retries a request whose ack it already processed.
+	ErrStaleSeq = intent.ErrStaleSeq
+
+	// ErrSeqReuse re-exports intent.ErrSeqReuse: a sequence number was
+	// reused for a different operation.
+	ErrSeqReuse = intent.ErrSeqReuse
 )
+
+// ErrServerClosed is the canonical name for the stopped-server
+// rejection (ErrClosed is the historical alias; they are the same
+// value, so errors.Is matches either).
+var ErrServerClosed = ErrClosed
+
+// Retryable reports whether an error is safe to retry under the
+// exactly-once protocol: overload and deadline rejections mean the op
+// was never executed, and a power-failure disconnect means the intent
+// journal will dedup the retry after recovery. Closed servers and
+// protocol violations (stale seq, seq reuse) are not retryable.
+func Retryable(err error) bool {
+	return errors.Is(err, ErrOverloaded) ||
+		errors.Is(err, ErrDeadlineExceeded) ||
+		errors.Is(err, ErrPowerFailure)
+}

@@ -1,0 +1,267 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"viyojit/internal/intent"
+	"viyojit/internal/kvstore"
+)
+
+// IdemKind selects the mutation an IdemOp performs.
+type IdemKind uint8
+
+const (
+	// IdemPut writes Value under Key.
+	IdemPut IdemKind = iota
+	// IdemDelete removes Key.
+	IdemDelete
+	// IdemRMW reads Key and writes Modify's return value (nil deletes).
+	// The journal records the *computed* image, so a post-crash retry
+	// re-applies exactly the bytes the original attempt decided on —
+	// Modify is never re-run against already-mutated state.
+	IdemRMW
+)
+
+// IdemOp is an idempotently-executed mutation.
+type IdemOp struct {
+	Kind  IdemKind
+	Key   []byte
+	Value []byte // IdemPut only
+	// Modify computes the new value for IdemRMW from the old one (nil,
+	// ok=false when the key is absent). Returning nil deletes the key.
+	// It must be pure: it runs at most once per (client, seq).
+	Modify func(old []byte, ok bool) []byte
+	// Tag folds extra identity into the op checksum so two ops with the
+	// same key that are nonetheless different (e.g. two RMWs, whose
+	// closures the checksum cannot see) are distinguishable when a
+	// client erroneously reuses a sequence number.
+	Tag uint64
+}
+
+// Result codes carried in IdemResult.Code (and cached in the journal).
+const (
+	// IdemApplied: the mutation landed (Put/RMW wrote, Delete removed
+	// an existing key).
+	IdemApplied byte = 0
+	// IdemNotFound: a Delete whose key did not exist. Still
+	// exactly-once: the cached code makes the retry see the same answer.
+	IdemNotFound byte = 1
+)
+
+// IdemResult is the outcome of an idempotent request.
+type IdemResult struct {
+	// Code is the small result the journal caches for dedup.
+	Code byte
+	// Value is the image the op wrote (nil for deletes) — the RMW
+	// return path.
+	Value []byte
+	// Deduped: this request was already complete; the result came from
+	// the journal's cache and nothing was re-applied.
+	Deduped bool
+	// Redone: the request was found in-flight from before a crash and
+	// its recorded redo image was (re-)applied.
+	Redone bool
+}
+
+// SubmitIdempotent runs op exactly once for (clientID, seq), however
+// many times it is retried across overloads, deadline sheds, and power
+// failures. Requires Config.Journal.
+func (s *Server) SubmitIdempotent(ctx context.Context, clientID, seq uint64, op IdemOp, opts Request) (IdemResult, error) {
+	opts.ClientID = clientID
+	opts.RequestSeq = seq
+	opts.Idem = &op
+	opts.Op = nil
+	opts.Write = true
+	res, err := s.Submit(ctx, opts)
+	if err != nil {
+		return IdemResult{}, err
+	}
+	ir, ok := res.Value.(IdemResult)
+	if !ok {
+		return IdemResult{}, fmt.Errorf("serve: idempotent op returned %T", res.Value)
+	}
+	return ir, nil
+}
+
+// opSum derives the op checksum recorded with the intent: retrying the
+// same logical op reproduces it; reusing the seq for a different op
+// does not (up to Tag for RMW closures).
+func opSum(op *IdemOp) uint64 {
+	return intent.Checksum(op.Key, op.Value, uint64(op.Kind)<<32^op.Tag)
+}
+
+// execIdem is the dispatch-goroutine half of the exactly-once protocol:
+//
+//	dedup lookup → (cached result | redo re-apply | fresh execution)
+//
+// Fresh execution journals intent+redo BEFORE touching the store and
+// the result code after, so every crash window resolves correctly:
+//
+//	crash before the intent lands   → journal has nothing; the retry is
+//	                                  fresh, and the store was untouched
+//	crash after intent, before apply → ReplayPending re-applies the redo
+//	                                  at recovery (no-op twice over:
+//	                                  blind Put/Delete)
+//	crash after apply, before result → ReplayPending re-applies the same
+//	                                  image idempotently — the
+//	                                  double-apply window this journal
+//	                                  exists to close
+//	crash after result               → retry is deduped from cache
+//
+// The StateInFlight branch below is the retry-time fallback for a server
+// recovered without ReplayPending; it is sound only until other
+// mutations touch the same key, which recovery-time replay avoids.
+func (s *Server) execIdem(e Exec, req Request) (any, error) {
+	j := s.cfg.Journal
+	if j == nil {
+		return nil, fmt.Errorf("serve: idempotent request but server has no intent journal")
+	}
+	if e.Store == nil {
+		return nil, fmt.Errorf("serve: idempotent request but server fronts no store")
+	}
+	op := req.Idem
+	sum := opSum(op)
+	client, seq := req.ClientID, req.RequestSeq
+
+	ent, state := j.Lookup(client, seq)
+	switch state {
+	case intent.StateDone:
+		if ent.OpSum != sum {
+			return nil, fmt.Errorf("%w: client %d seq %d", ErrSeqReuse, client, seq)
+		}
+		s.st.idemDedup.Inc()
+		return IdemResult{Code: ent.Code, Value: cloneBytes(ent.Result), Deduped: true}, nil
+
+	case intent.StateInFlight:
+		if ent.OpSum != sum {
+			return nil, fmt.Errorf("%w: client %d seq %d", ErrSeqReuse, client, seq)
+		}
+		code, err := applyImage(e.Store, ent.RedoKey, ent.RedoVal, ent.Tombstone)
+		if err != nil {
+			return nil, err
+		}
+		resVal := cloneBytes(ent.RedoVal)
+		if err := j.Complete(client, seq, code, resVal); err != nil && !errors.Is(err, intent.ErrJournalFull) {
+			return nil, err
+		}
+		s.st.idemRedo.Inc()
+		return IdemResult{Code: code, Value: resVal, Redone: true}, nil
+
+	case intent.StateBelowWindow:
+		return nil, fmt.Errorf("%w: client %d seq %d", ErrStaleSeq, client, seq)
+	}
+
+	// Fresh request: compute the redo image.
+	var image []byte
+	tombstone := false
+	switch op.Kind {
+	case IdemPut:
+		image = op.Value
+	case IdemDelete:
+		tombstone = true
+	case IdemRMW:
+		if op.Modify == nil {
+			return nil, fmt.Errorf("serve: IdemRMW without Modify")
+		}
+		old, ok, err := e.Store.Get(op.Key)
+		if err != nil {
+			return nil, err
+		}
+		image = op.Modify(old, ok)
+		if image == nil {
+			tombstone = true
+		}
+	default:
+		return nil, fmt.Errorf("serve: unknown IdemKind %d", op.Kind)
+	}
+
+	// Intent (with redo) must be durable-ordered before the mutation.
+	if err := j.Begin(client, seq, sum, op.Key, image, tombstone); err != nil {
+		if errors.Is(err, intent.ErrJournalFull) {
+			// The journal needs live entries to retire; the request was
+			// NOT executed, so backing off and retrying is safe.
+			return nil, fmt.Errorf("%w: intent journal full", ErrOverloaded)
+		}
+		return nil, err
+	}
+	code, err := applyImage(e.Store, op.Key, image, tombstone)
+	if err != nil {
+		// Intent stands, mutation state unknown — exactly the situation
+		// the redo record repairs on the next retry of this seq.
+		return nil, err
+	}
+	resVal := cloneBytes(image)
+	if err := j.Complete(client, seq, code, resVal); err != nil && !errors.Is(err, intent.ErrJournalFull) {
+		return nil, err
+	}
+	return IdemResult{Code: code, Value: resVal}, nil
+}
+
+// ReplayPending resolves every journaled intent whose result never
+// committed: the ops that were in flight when power failed. It applies
+// each one's redo image to the store and completes it in the journal, so
+// by the time the server takes traffic every entry is Done and a retry
+// can only dedup.
+//
+// Call it during recovery, after intent.Open and BEFORE serving resumes.
+// The ordering matters for correctness, not just hygiene: a redo image
+// is the post-state of the crashed attempt, so re-applying it is only
+// sound while the store still holds pre-crash state. Once new mutations
+// land on the same key, a late redo would rewind them — which is why the
+// in-flight resolution lives here and not in the retry path. (execIdem
+// keeps a retry-time redo as a fallback for servers recovered without
+// this call, with exactly that caveat.)
+//
+// Returns the number of intents redone. Under a serially-dispatched
+// server at most one intent can be in flight per crash; the loop handles
+// any number for journals with other producers.
+func ReplayPending(store *kvstore.Store, j *intent.Journal) (int, error) {
+	if store == nil || j == nil {
+		return 0, fmt.Errorf("serve: ReplayPending needs a store and a journal")
+	}
+	redone := 0
+	for client, snap := range j.Snapshot() {
+		for seq, ent := range snap.Entries {
+			if ent.Done {
+				continue
+			}
+			code, err := applyImage(store, ent.RedoKey, ent.RedoVal, ent.Tombstone)
+			if err != nil {
+				return redone, fmt.Errorf("serve: redo of client %d seq %d: %w", client, seq, err)
+			}
+			if err := j.Complete(client, seq, code, cloneBytes(ent.RedoVal)); err != nil && !errors.Is(err, intent.ErrJournalFull) {
+				return redone, fmt.Errorf("serve: completing redo of client %d seq %d: %w", client, seq, err)
+			}
+			redone++
+		}
+	}
+	return redone, nil
+}
+
+// applyImage blindly applies a redo image — the idempotent primitive
+// everything above reduces to.
+func applyImage(st *kvstore.Store, key, image []byte, tombstone bool) (byte, error) {
+	if tombstone {
+		found, err := st.Delete(key)
+		if err != nil {
+			return 0, err
+		}
+		if !found {
+			return IdemNotFound, nil
+		}
+		return IdemApplied, nil
+	}
+	if err := st.Put(key, image); err != nil {
+		return 0, err
+	}
+	return IdemApplied, nil
+}
+
+func cloneBytes(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}

@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"viyojit/internal/core"
+	"viyojit/internal/intent"
+	"viyojit/internal/kvstore"
+	"viyojit/internal/nvdram"
+	"viyojit/internal/pheap"
+	"viyojit/internal/sim"
+	"viyojit/internal/ssd"
+)
+
+// newIdemHarness is newHarness plus an intent journal in a second
+// battery-backed mapping (so journal writes are budget-accounted like
+// everything else).
+func newIdemHarness(t *testing.T, budget int, journalBytes int64, window int, cfg Config) *harness {
+	t.Helper()
+	clock := sim.NewClock()
+	events := sim.NewQueue()
+	region, err := nvdram.New(clock, nvdram.Config{Size: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := ssd.New(clock, events, ssd.Config{})
+	mgr, err := core.NewManager(clock, events, region, dev, core.Config{DirtyBudgetPages: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapping, err := mgr.Map("heap", 256<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap, err := pheap.Format(mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := kvstore.Create(heap, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jm, err := mgr.Map("intent", journalBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := intent.Create(jm, intent.Config{Window: window})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Journal = j
+	srv, err := New(clock, events, mgr, store, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	h := &harness{srv: srv, mgr: mgr, store: store, mapping: mapping}
+	t.Cleanup(func() {
+		h.srv.Stop()
+		if !h.mgr.Closed() {
+			h.mgr.Close()
+		}
+	})
+	return h
+}
+
+func TestIdempotentPutDedup(t *testing.T) {
+	h := newIdemHarness(t, 64, 64<<10, 8, Config{})
+	ctx := context.Background()
+
+	res, err := h.srv.SubmitIdempotent(ctx, 1, 1, IdemOp{Kind: IdemPut, Key: []byte("k"), Value: []byte("v1")}, Request{Priority: PriorityNormal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deduped || res.Code != IdemApplied {
+		t.Fatalf("fresh put: %+v", res)
+	}
+	// The retry of an acked request must come from cache.
+	res, err = h.srv.SubmitIdempotent(ctx, 1, 1, IdemOp{Kind: IdemPut, Key: []byte("k"), Value: []byte("v1")}, Request{Priority: PriorityNormal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Deduped {
+		t.Fatalf("retry not deduped: %+v", res)
+	}
+	if h.srv.st.idemDedup.Value() != 1 {
+		t.Fatalf("dedup counter = %d", h.srv.st.idemDedup.Value())
+	}
+}
+
+func TestIdempotentRMWRunsModifyOnce(t *testing.T) {
+	h := newIdemHarness(t, 64, 64<<10, 8, Config{})
+	ctx := context.Background()
+	calls := 0
+	op := IdemOp{Kind: IdemRMW, Key: []byte("ctr"), Modify: func(old []byte, ok bool) []byte {
+		calls++
+		if !ok {
+			return []byte{1}
+		}
+		return []byte{old[0] + 1}
+	}}
+	for i := 0; i < 3; i++ { // same seq, retried three times
+		res, err := h.srv.SubmitIdempotent(ctx, 9, 1, op, Request{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(res.Value, []byte{1}) {
+			t.Fatalf("attempt %d: value %v", i, res.Value)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("Modify ran %d times, want 1", calls)
+	}
+	v, ok, err := storeGet(h, "ctr")
+	if err != nil || !ok || !bytes.Equal(v, []byte{1}) {
+		t.Fatalf("store state %v %v %v", v, ok, err)
+	}
+	// A NEW seq increments.
+	res, err := h.srv.SubmitIdempotent(ctx, 9, 2, op, Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Value, []byte{2}) {
+		t.Fatalf("seq 2 value %v", res.Value)
+	}
+}
+
+func TestIdempotentDeleteCachesNotFound(t *testing.T) {
+	h := newIdemHarness(t, 64, 64<<10, 8, Config{})
+	ctx := context.Background()
+	res, err := h.srv.SubmitIdempotent(ctx, 2, 1, IdemOp{Kind: IdemDelete, Key: []byte("ghost")}, Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Code != IdemNotFound {
+		t.Fatalf("delete of absent key code %d", res.Code)
+	}
+	res, err = h.srv.SubmitIdempotent(ctx, 2, 1, IdemOp{Kind: IdemDelete, Key: []byte("ghost")}, Request{})
+	if err != nil || !res.Deduped || res.Code != IdemNotFound {
+		t.Fatalf("cached delete retry: %+v err %v", res, err)
+	}
+}
+
+func TestSeqReuseAndStaleSeqTyped(t *testing.T) {
+	h := newIdemHarness(t, 64, 64<<10, 4, Config{})
+	ctx := context.Background()
+	if _, err := h.srv.SubmitIdempotent(ctx, 3, 1, IdemOp{Kind: IdemPut, Key: []byte("a"), Value: []byte("x")}, Request{}); err != nil {
+		t.Fatal(err)
+	}
+	// Same seq, different op → typed reuse error.
+	if _, err := h.srv.SubmitIdempotent(ctx, 3, 1, IdemOp{Kind: IdemPut, Key: []byte("b"), Value: []byte("x")}, Request{}); !errors.Is(err, ErrSeqReuse) {
+		t.Fatalf("err = %v, want ErrSeqReuse", err)
+	}
+	// Blow past the window, then retry seq 1 → typed stale error.
+	for s := uint64(2); s <= 10; s++ {
+		if _, err := h.srv.SubmitIdempotent(ctx, 3, s, IdemOp{Kind: IdemPut, Key: []byte("a"), Value: []byte("x")}, Request{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := h.srv.SubmitIdempotent(ctx, 3, 1, IdemOp{Kind: IdemPut, Key: []byte("a"), Value: []byte("x")}, Request{}); !errors.Is(err, ErrStaleSeq) {
+		t.Fatalf("err = %v, want ErrStaleSeq", err)
+	}
+}
+
+func TestIdemRequestValidation(t *testing.T) {
+	h := newIdemHarness(t, 64, 64<<10, 8, Config{})
+	bad := []Request{
+		{Idem: &IdemOp{Kind: IdemPut, Key: []byte("k")}},                                              // no client/seq
+		{Idem: &IdemOp{Kind: IdemPut, Key: []byte("k")}, ClientID: 1},                                 // no seq
+		{Idem: &IdemOp{Kind: IdemPut, Key: []byte("k")}, ClientID: 1, RequestSeq: 1},                  // not Write
+		{Idem: &IdemOp{Kind: IdemPut}, ClientID: 1, RequestSeq: 1, Write: true, Op: put("a", "b").Op}, // both
+	}
+	for i, r := range bad {
+		if _, err := h.srv.SubmitAsync(r); err == nil {
+			t.Fatalf("bad request %d accepted", i)
+		}
+	}
+	// A server without a journal rejects idempotent requests up front.
+	h2 := newHarness(t, 64, ssd.Config{}, Config{}, nil)
+	if _, err := h2.srv.SubmitAsync(Request{Idem: &IdemOp{Kind: IdemPut, Key: []byte("k")}, ClientID: 1, RequestSeq: 1, Write: true}); err == nil {
+		t.Fatal("journal-less idempotent request accepted")
+	}
+}
+
+func storeGet(h *harness, key string) ([]byte, bool, error) {
+	res, err := h.srv.Submit(context.Background(), Request{Class: ClassBackground, Priority: PriorityHigh, Op: func(e Exec) (any, error) {
+		v, ok, err := e.Store.Get([]byte(key))
+		if err != nil || !ok {
+			return nil, err
+		}
+		return append([]byte(nil), v...), nil
+	}})
+	if err != nil {
+		return nil, false, err
+	}
+	if res.Value == nil {
+		return nil, false, nil
+	}
+	return res.Value.([]byte), true, nil
+}

@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"viyojit/internal/intent"
+)
+
+// waitFor polls cond (real-time bounded) — for coordinating with the
+// retry loop's virtual-time backoffs.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never reached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestRetryingClientSucceedsAfterTransientOverload(t *testing.T) {
+	h := newIdemHarness(t, 64, 64<<10, 8, Config{MaxQueue: 4})
+	cl, err := NewRetryingClient(h.srv, 11, 0x11, RetryConfig{MaxAttempts: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hold the dispatch loop and fill the queue, so the client's first
+	// attempts shed with ErrOverloaded at admission.
+	_, release, gdone := gate(t, h.srv)
+	var handles []*Handle
+	for i := 0; i < 4; i++ {
+		hd, err := h.srv.SubmitAsync(put("fill", "x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, hd)
+	}
+
+	type out struct {
+		res IdemResult
+		seq uint64
+		err error
+	}
+	doDone := make(chan out, 1)
+	go func() {
+		res, seq, err := cl.Do(context.Background(), IdemOp{Kind: IdemPut, Key: []byte("rk"), Value: []byte("rv")})
+		doDone <- out{res, seq, err}
+	}()
+
+	// Wait until the client has drawn at least one overload rejection,
+	// then unblock the queue so a later attempt lands.
+	waitFor(t, func() bool { return cl.Attempts() >= 1 && h.srv.Stats().ShedOverload >= 1 })
+	close(release)
+	o := <-doDone
+	if o.err != nil {
+		t.Fatalf("Do failed: %v (attempts %d)", o.err, cl.Attempts())
+	}
+	if o.seq != 1 || cl.NextSeq() != 2 {
+		t.Fatalf("seq accounting: used %d next %d", o.seq, cl.NextSeq())
+	}
+	if cl.Retries() == 0 {
+		t.Fatal("expected at least one retry")
+	}
+	for _, hd := range handles {
+		if _, err := hd.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, ok, err := storeGet(h, "rk")
+	if err != nil || !ok || !bytes.Equal(v, []byte("rv")) {
+		t.Fatalf("store state after retried put: %v %v %v", v, ok, err)
+	}
+	if err := <-gdone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRetryingClientExhaustsOnPersistentRejection(t *testing.T) {
+	// A minimum-size journal stuffed with fat in-flight intents cannot
+	// accept new ones even after compaction, so every attempt draws the
+	// journal-full ErrOverloaded mapping — a persistent retryable error.
+	h := newIdemHarness(t, 64, intent.MinStoreBytes, 16, Config{})
+	ctx := context.Background()
+	fat := bytes.Repeat([]byte("z"), 1800)
+	for s := uint64(1); s <= 2; s++ {
+		if _, err := h.srv.SubmitIdempotent(ctx, 5, s, IdemOp{Kind: IdemPut, Key: []byte{byte(s)}, Value: fat}, Request{}); err != nil {
+			t.Fatalf("setup put %d: %v", s, err)
+		}
+	}
+	// Those two completed, so their results are cached; two fat
+	// in-flight intents from a second client now brick the journal.
+	// Easier: a third fat put cannot fit intent+snapshot.
+	cl, err := NewRetryingClient(h.srv, 6, 0x22, RetryConfig{MaxAttempts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, derr := cl.Do(ctx, IdemOp{Kind: IdemPut, Key: []byte("big"), Value: fat})
+	if derr == nil {
+		t.Fatal("expected failure")
+	}
+	if !errors.Is(derr, ErrRetriesExhausted) || !errors.Is(derr, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrRetriesExhausted wrapping ErrOverloaded", derr)
+	}
+	if got := cl.Attempts(); got != 4 {
+		t.Fatalf("attempts = %d, want 4", got)
+	}
+}
+
+func TestRetryingClientDoesNotRetryNonRetryable(t *testing.T) {
+	h := newIdemHarness(t, 64, 64<<10, 4, Config{})
+	ctx := context.Background()
+	cl, err := NewRetryingClient(h.srv, 7, 0x33, RetryConfig{MaxAttempts: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, _, err := cl.Do(ctx, IdemOp{Kind: IdemPut, Key: []byte("k"), Value: []byte("v")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Replaying a GC'd seq is a protocol violation: typed, not retried.
+	before := cl.Attempts()
+	if _, err := cl.DoSeq(ctx, 1, IdemOp{Kind: IdemPut, Key: []byte("k"), Value: []byte("v")}); !errors.Is(err, ErrStaleSeq) {
+		t.Fatalf("err = %v, want ErrStaleSeq", err)
+	}
+	if cl.Attempts() != before+1 {
+		t.Fatalf("non-retryable error was retried: %d attempts", cl.Attempts()-before)
+	}
+}
+
+func TestRetryableClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{ErrOverloaded, true},
+		{ErrDeadlineExceeded, true},
+		{ErrPowerFailure, true},
+		{ErrReadOnly, false},
+		{ErrServerClosed, false},
+		{ErrClosed, false},
+		{ErrStaleSeq, false},
+		{ErrSeqReuse, false},
+		{errors.New("app error"), false},
+	}
+	for _, c := range cases {
+		if got := Retryable(c.err); got != c.want {
+			t.Errorf("Retryable(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"sync/atomic"
 
 	"viyojit/internal/core"
+	"viyojit/internal/intent"
 	"viyojit/internal/kvstore"
 	"viyojit/internal/mmu"
 	"viyojit/internal/obs"
@@ -101,6 +102,18 @@ type Request struct {
 	// Op runs on the dispatch goroutine. Its return value is delivered
 	// through Result.Value.
 	Op func(Exec) (any, error)
+
+	// ClientID and RequestSeq identify a request for exactly-once
+	// execution through the intent journal. Both must be non-zero when
+	// Idem is set; RequestSeq must be issued in order per client with at
+	// most the journal's window outstanding.
+	ClientID   uint64
+	RequestSeq uint64
+	// Idem, when non-nil, replaces Op: the server runs the operation
+	// under the intent-journal protocol (dedup lookup, intent+redo
+	// journaling, result caching) and delivers an IdemResult. Requires
+	// Config.Journal.
+	Idem *IdemOp
 }
 
 // Result is the outcome of a completed request.
@@ -139,6 +152,18 @@ type Config struct {
 	// nil creates a private registry; pass the manager's (viyojit.System
 	// does) so request spans parent the core's clean spans.
 	Obs *obs.Registry
+	// Journal is the intent journal idempotent requests run through.
+	// Its store must live inside the battery-backed region so journal
+	// writes are budget-accounted and survive power failure. nil
+	// disables SubmitIdempotent.
+	Journal *intent.Journal
+	// RecoverCrash classifies a panic escaping the dispatch loop. When
+	// it returns true (a simulated power failure from
+	// faultinject.Crasher — use faultinject.AsCrash), the server fails
+	// in-flight and queued requests with ErrPowerFailure instead of
+	// crashing the process; the panic value is re-raised otherwise. nil
+	// means every panic propagates.
+	RecoverCrash func(v any) bool
 }
 
 func (c Config) withDefaults() Config {
@@ -200,6 +225,7 @@ type item struct {
 	enqueuedAt sim.Time
 	deadline   sim.Time // 0 = none
 	cancelled  atomic.Bool
+	delivered  bool         // outcome sent; dispatch-goroutine only
 	done       chan outcome // buffered(1): dispatch never blocks on it
 }
 
@@ -234,6 +260,12 @@ type Server struct {
 	waiters  []*waiter
 	started  bool
 	stopping bool
+	crashed  bool // a power failure killed the dispatch loop
+
+	// inflight is the item currently inside serveOne, tracked so the
+	// crash-recovery path can fail it with ErrPowerFailure. Dispatch
+	// goroutine only.
+	inflight *item
 
 	// Mirrors published for lock-free reading by clients and watchdog.
 	occupancy atomic.Int64
@@ -270,6 +302,9 @@ type instruments struct {
 	cancelled      *obs.Counter
 	stallPredicted *obs.Counter
 	watchdogTrips  *obs.Counter
+	powerFailures  *obs.Counter
+	idemDedup      *obs.Counter
+	idemRedo       *obs.Counter
 
 	queueDepth *obs.Gauge
 	queueMax   *obs.Gauge
@@ -291,6 +326,9 @@ func newInstruments(r *obs.Registry) *instruments {
 		cancelled:      r.Counter("serve_cancelled_total"),
 		stallPredicted: r.Counter("serve_stall_predicted_total"),
 		watchdogTrips:  r.Counter("serve_watchdog_trips_total"),
+		powerFailures:  r.Counter("serve_power_failures_total"),
+		idemDedup:      r.Counter("serve_idem_dedup_total"),
+		idemRedo:       r.Counter("serve_idem_redo_total"),
 		queueDepth:     r.Gauge("serve_queue_depth"),
 		queueMax:       r.Gauge("serve_queue_max"),
 		queueWait:      r.Histogram("serve_queue_wait_ns"),
@@ -450,8 +488,22 @@ func (h *Handle) Wait(ctx context.Context) (Result, error) {
 // or an idle dispatch loop advances virtual time past the next arrival
 // while the submission is still in flight on some other goroutine.
 func (s *Server) SubmitAsync(req Request) (*Handle, error) {
-	if req.Op == nil {
+	if req.Op == nil && req.Idem == nil {
 		return nil, fmt.Errorf("serve: request has no Op")
+	}
+	if req.Idem != nil {
+		if req.Op != nil {
+			return nil, fmt.Errorf("serve: request has both Op and Idem")
+		}
+		if req.ClientID == 0 || req.RequestSeq == 0 {
+			return nil, fmt.Errorf("serve: idempotent request needs non-zero ClientID and RequestSeq")
+		}
+		if !req.Write {
+			return nil, fmt.Errorf("serve: idempotent requests are writes; set Write")
+		}
+		if s.cfg.Journal == nil {
+			return nil, fmt.Errorf("serve: idempotent request but server has no intent journal")
+		}
 	}
 	if req.Priority > PriorityHigh {
 		return nil, fmt.Errorf("serve: invalid priority %d", req.Priority)
@@ -461,9 +513,13 @@ func (s *Server) SubmitAsync(req Request) (*Handle, error) {
 	state := core.HealthState(s.pubState.Load())
 
 	s.mu.Lock()
+	if s.crashed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: server lost power", ErrPowerFailure)
+	}
 	if s.stopping {
 		s.mu.Unlock()
-		return nil, ErrClosed
+		return nil, ErrServerClosed
 	}
 	occ := int(s.occupancy.Load())
 	if occ >= s.cfg.MaxQueue {
@@ -510,9 +566,13 @@ func (s *Server) WaitUntil(t sim.Time) error {
 		return nil
 	}
 	s.mu.Lock()
+	if s.crashed {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: server lost power", ErrPowerFailure)
+	}
 	if s.stopping {
 		s.mu.Unlock()
-		return ErrClosed
+		return ErrServerClosed
 	}
 	if sim.Time(s.pubNow.Load()) >= t {
 		s.mu.Unlock()
@@ -529,6 +589,23 @@ func (s *Server) WaitUntil(t sim.Time) error {
 // queue, manager, and store from Start to Stop.
 func (s *Server) loop() {
 	defer close(s.loopDone)
+	// Power-failure containment: a faultinject crash panic can surface
+	// from any event pump — inside serveOne, inside an idle advance,
+	// even inside the manager's cleaning machinery. Config.RecoverCrash
+	// decides whether the panic is a simulated power failure; if so the
+	// server dies cleanly (clients get ErrPowerFailure, Stop still
+	// joins) instead of taking the process down. Registered after
+	// loopDone's close so noteCrash finishes before Stop unblocks.
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if s.cfg.RecoverCrash == nil || !s.cfg.RecoverCrash(r) {
+			panic(r)
+		}
+		s.noteCrash()
+	}()
 	for {
 		s.mu.Lock()
 		for {
@@ -539,7 +616,9 @@ func (s *Server) loop() {
 			}
 			if it := s.popLocked(); it != nil {
 				s.mu.Unlock()
+				s.inflight = it
 				s.serveOne(it)
+				s.inflight = nil
 				break
 			}
 			if t, ok := s.earliestWaiterLocked(); ok {
@@ -610,19 +689,65 @@ func (s *Server) wakeWaitersLocked(err error) {
 	s.waiters = kept
 }
 
+// deliver sends an item's outcome exactly once. The channel is
+// buffered(1) so the send never blocks, but a crash-recovery path that
+// re-failed an already-answered item would: the delivered flag (dispatch
+// goroutine only) makes delivery idempotent.
+func (s *Server) deliver(it *item, out outcome) {
+	if it.delivered {
+		return
+	}
+	it.delivered = true
+	if it.cancelled.Load() {
+		return // client already gone
+	}
+	it.done <- out
+}
+
 // failAllLocked rejects everything still queued and wakes all waiters
 // with ErrClosed — the shutdown path.
 func (s *Server) failAllLocked() {
 	for b := range s.buckets {
 		for _, it := range s.buckets[b] {
-			if !it.cancelled.Load() {
-				it.done <- outcome{err: ErrClosed}
-			}
+			s.deliver(it, outcome{err: ErrServerClosed})
 			s.st.queueDepth.Set(s.occupancy.Add(-1))
 		}
 		s.buckets[b] = nil
 	}
-	s.wakeWaitersLocked(ErrClosed)
+	s.wakeWaitersLocked(ErrServerClosed)
+}
+
+// noteCrash is the power-failure epilogue, run on the dying dispatch
+// goroutine: every request the server ever acknowledged is already
+// journaled; everything still in the building gets ErrPowerFailure so
+// clients know to retry against the recovered system.
+func (s *Server) noteCrash() {
+	s.wdDead.Store(true)
+	s.st.powerFailures.Inc()
+	s.mu.Lock()
+	s.crashed = true
+	s.stopping = true
+	if it := s.inflight; it != nil {
+		s.deliver(it, outcome{err: fmt.Errorf("%w: failed mid-request", ErrPowerFailure)})
+		s.inflight = nil
+	}
+	for b := range s.buckets {
+		for _, it := range s.buckets[b] {
+			s.deliver(it, outcome{err: fmt.Errorf("%w: queued at failure", ErrPowerFailure)})
+			s.st.queueDepth.Set(s.occupancy.Add(-1))
+		}
+		s.buckets[b] = nil
+	}
+	s.wakeWaitersLocked(fmt.Errorf("%w: server lost power", ErrPowerFailure))
+	s.mu.Unlock()
+}
+
+// PowerFailed reports whether a simulated power failure killed the
+// dispatch loop (see Config.RecoverCrash).
+func (s *Server) PowerFailed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.crashed
 }
 
 // publish refreshes the atomic mirrors clients read.
@@ -680,7 +805,7 @@ func (s *Server) serveOne(it *item) {
 	if it.deadline != 0 && now > it.deadline {
 		s.st.shedDeadline.Inc()
 		s.tr.Finish(sp, now, "shed_deadline")
-		it.done <- outcome{err: fmt.Errorf("%w: queued %v past deadline", ErrDeadlineExceeded, now.Sub(it.deadline))}
+		s.deliver(it, outcome{err: fmt.Errorf("%w: queued %v past deadline", ErrDeadlineExceeded, now.Sub(it.deadline))})
 		return
 	}
 	if it.req.Write && it.req.Class == ClassClient {
@@ -689,13 +814,13 @@ func (s *Server) serveOne(it *item) {
 		if s.mgr.WritesBlocked() {
 			s.st.shedReadOnly.Inc()
 			s.tr.Finish(sp, now, "shed_readonly")
-			it.done <- outcome{err: fmt.Errorf("%w: ladder at %v", ErrReadOnly, s.mgr.HealthState())}
+			s.deliver(it, outcome{err: fmt.Errorf("%w: ladder at %v", ErrReadOnly, s.mgr.HealthState())})
 			return
 		}
 		if s.mgr.HealthState() == core.StateDegraded && it.req.Priority == PriorityLow {
 			s.st.shedOverload.Inc()
 			s.tr.Finish(sp, now, "shed_overload")
-			it.done <- outcome{err: fmt.Errorf("%w: low-priority write shed while Degraded", ErrOverloaded)}
+			s.deliver(it, outcome{err: fmt.Errorf("%w: low-priority write shed while Degraded", ErrOverloaded)})
 			return
 		}
 		if it.deadline != 0 {
@@ -703,7 +828,7 @@ func (s *Server) serveOne(it *item) {
 				s.st.shedDeadline.Inc()
 				s.st.stallPredicted.Inc()
 				s.tr.Finish(sp, now, "shed_stall_predicted")
-				it.done <- outcome{err: fmt.Errorf("%w: predicted clean-stall %v misses deadline", ErrDeadlineExceeded, stall)}
+				s.deliver(it, outcome{err: fmt.Errorf("%w: predicted clean-stall %v misses deadline", ErrDeadlineExceeded, stall)})
 				return
 			}
 		}
@@ -715,7 +840,14 @@ func (s *Server) serveOne(it *item) {
 	s.st.queueWait.Record(wait)
 	prevScope := s.tr.SetScope(sp.ID)
 	s.clock.Advance(s.cfg.OpServiceTime)
-	val, err := it.req.Op(Exec{Store: s.store, Mgr: s.mgr, Now: s.clock.Now()})
+	ex := Exec{Store: s.store, Mgr: s.mgr, Now: s.clock.Now()}
+	var val any
+	var err error
+	if it.req.Idem != nil {
+		val, err = s.execIdem(ex, it.req)
+	} else {
+		val, err = it.req.Op(ex)
+	}
 	s.pump()
 	s.tr.SetScope(prevScope)
 	if err != nil {
@@ -729,7 +861,7 @@ func (s *Server) serveOne(it *item) {
 			s.st.failed.Inc()
 			s.tr.Finish(sp, s.clock.Now(), "failed")
 		}
-		it.done <- outcome{err: err}
+		s.deliver(it, outcome{err: err})
 		return
 	}
 	s.st.completed.Inc()
@@ -739,7 +871,7 @@ func (s *Server) serveOne(it *item) {
 	}
 	s.st.latency[it.req.Priority].Record(lat)
 	s.tr.Finish(sp, s.clock.Now(), "ok")
-	it.done <- outcome{res: Result{Value: val, Wait: wait, Latency: lat}}
+	s.deliver(it, outcome{res: Result{Value: val, Wait: wait, Latency: lat}})
 }
 
 // watchdogTick runs as a virtual-time event on the dispatch goroutine

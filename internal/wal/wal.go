@@ -268,6 +268,11 @@ func (l *Log) Head() int64 { return l.head }
 func (l *Log) Reset() error {
 	l.head = recordBase
 	l.seq = 1
+	// A reused log starts with a clean history: without this, a Replay
+	// of the pre-reset log that stopped on a torn tail would keep
+	// reporting StopTorn after the reset, and recovery code keying off
+	// LastStop would treat the fresh log as crash-damaged.
+	l.lastStop = StopHead
 	// Invalidate the first record header so a replay after reset stops
 	// immediately even if old bytes follow.
 	var zero [recordHeaderSize]byte

@@ -236,6 +236,38 @@ func TestReset(t *testing.T) {
 	}
 }
 
+// A reused log must not report the pre-reset torn tail: Reset clears
+// the StopReason along with the head, so recovery code keying off
+// LastStop sees a clean log.
+func TestResetClearsStopReason(t *testing.T) {
+	ms := newMemStore(1 << 16)
+	l, err := Create(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("committed")); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the tail: bytes of a second record, header never advanced,
+	// then a corrupted header so the scan sees garbage.
+	if err := ms.WriteAt([]byte{0xFF, 0xFF, 0xFF, 0x7F}, l.Head()); err != nil {
+		t.Fatal(err)
+	}
+	l.head = -1 // force a full scan, like Open's rebuild after a torn header
+	if err := l.Replay(func(uint64, []byte) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if l.LastStop() != StopTorn {
+		t.Fatalf("setup: LastStop = %v, want StopTorn", l.LastStop())
+	}
+	if err := l.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if l.LastStop() != StopHead {
+		t.Fatalf("LastStop after Reset = %v, want StopHead (stale StopReason leaked)", l.LastStop())
+	}
+}
+
 // Property: crash at any byte boundary during an append sequence loses at
 // most the in-flight record; the committed prefix always replays intact.
 func TestCrashPrefixProperty(t *testing.T) {

@@ -33,6 +33,7 @@ import (
 	"viyojit/internal/battery"
 	"viyojit/internal/core"
 	"viyojit/internal/health"
+	"viyojit/internal/intent"
 	"viyojit/internal/kvstore"
 	"viyojit/internal/nvdram"
 	"viyojit/internal/obs"
@@ -90,6 +91,25 @@ type (
 	ServeStats = serve.Stats
 	// ServeExec is the execution context a request's Op receives.
 	ServeExec = serve.Exec
+	// IdemOp is an idempotently-executed mutation (exactly-once across
+	// retries and power failures; see System.SubmitIdempotent).
+	IdemOp = serve.IdemOp
+	// IdemResult is an idempotent request's outcome, including whether
+	// it was answered from the intent journal's result cache.
+	IdemResult = serve.IdemResult
+	// RetryingClient drives idempotent ops with typed-error-aware
+	// retries and jittered backoff (see System.NewRetryingClient).
+	RetryingClient = serve.RetryingClient
+	// RetryConfig tunes a RetryingClient.
+	RetryConfig = serve.RetryConfig
+	// IntentJournal is the battery-backed request intent journal that
+	// makes serving exactly-once across power failure.
+	IntentJournal = intent.Journal
+	// IntentConfig tunes an intent journal (dedup window, metrics).
+	IntentConfig = intent.Config
+	// IntentStats are a journal's counters (append traffic, live
+	// entries, compaction generation).
+	IntentStats = intent.Stats
 	// MetricsRegistry is the system-wide observability registry
 	// returned by System.Metrics.
 	MetricsRegistry = obs.Registry
@@ -109,6 +129,13 @@ const (
 	PriorityHigh    = serve.PriorityHigh
 )
 
+// Idempotent mutation kinds (see serve.IdemOp).
+const (
+	IdemPut    = serve.IdemPut
+	IdemDelete = serve.IdemDelete
+	IdemRMW    = serve.IdemRMW
+)
+
 // The serving front-end's typed rejections; match with errors.Is.
 var (
 	// ErrOverloaded: admission control shed the request (queue full,
@@ -119,9 +146,28 @@ var (
 	ErrDeadlineExceeded = serve.ErrDeadlineExceeded
 	// ErrReadOnly: the degradation ladder has writes blocked.
 	ErrReadOnly = serve.ErrReadOnly
-	// ErrServerClosed: the front-end was stopped.
-	ErrServerClosed = serve.ErrClosed
+	// ErrServerClosed: the front-end was stopped by Stop/Close.
+	ErrServerClosed = serve.ErrServerClosed
+	// ErrPowerFailure: a power failure severed this server; queued and
+	// in-flight requests fail with it. Retryable — replay the same
+	// (client, seq) against the recovered system to learn the outcome
+	// exactly once.
+	ErrPowerFailure = serve.ErrPowerFailure
+	// ErrRetriesExhausted wraps the last error after a RetryingClient
+	// runs out of attempts or deadline.
+	ErrRetriesExhausted = serve.ErrRetriesExhausted
+	// ErrStaleSeq: an idempotent retry fell below the journal's dedup
+	// window; its outcome is no longer known.
+	ErrStaleSeq = serve.ErrStaleSeq
+	// ErrSeqReuse: a client reused a sequence number for a different op.
+	ErrSeqReuse = serve.ErrSeqReuse
 )
+
+// Retryable reports whether a serving-layer error is safe to retry:
+// the request was never executed (overload/deadline shed) or its
+// execution state is knowable through the intent journal (power
+// failure). See serve.Retryable.
+func Retryable(err error) bool { return serve.Retryable(err) }
 
 // Degradation-ladder rungs (see core.HealthState).
 const (
@@ -515,6 +561,82 @@ func (s *System) NewStore(name string, size int64) (*kvstore.Store, error) {
 		buckets = 64
 	}
 	return kvstore.Create(heap, buckets)
+}
+
+// OpenStore reopens a store that survived a power cycle: the recovery
+// counterpart of NewStore. Call it on the System returned by Recover
+// with the SAME name and size, and in the same order relative to other
+// Map/NewStore/NewIntentJournal calls as at creation — mapping layout is
+// first-fit, so identical call order re-attaches each mapping to its
+// restored bytes.
+func (s *System) OpenStore(name string, size int64) (*kvstore.Store, error) {
+	m, err := s.Map(name, size)
+	if err != nil {
+		return nil, err
+	}
+	heap, err := pheap.Open(m)
+	if err != nil {
+		return nil, err
+	}
+	return kvstore.Open(heap)
+}
+
+// NewIntentJournal formats a request intent journal on a fresh mapping.
+// The journal lives in battery-backed NV-DRAM like any other mapping, so
+// its pages are dirty-budget-accounted and flushed by the same powerfail
+// path as the data they protect.
+func (s *System) NewIntentJournal(name string, size int64, cfg IntentConfig) (*IntentJournal, error) {
+	m, err := s.Map(name, size)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Obs == nil {
+		cfg.Obs = s.reg
+	}
+	return intent.Create(m, cfg)
+}
+
+// OpenIntentJournal reopens a journal after Recover (same name, size,
+// and call-order contract as OpenStore) and rebuilds the dedup table
+// from the committed record prefix, dropping a torn tail if the crash
+// interrupted an append.
+//
+// After opening, resolve in-flight intents with ReplayPending BEFORE
+// serving resumes — a journaled redo image is only sound against
+// pre-crash store state.
+func (s *System) OpenIntentJournal(name string, size int64) (*IntentJournal, error) {
+	m, err := s.Map(name, size)
+	if err != nil {
+		return nil, err
+	}
+	return intent.Open(m, s.reg)
+}
+
+// ReplayPending applies the redo image of every journaled intent whose
+// result never committed — the requests in flight when power failed —
+// and completes them in the journal, so every retry afterwards dedups.
+// Call it between OpenIntentJournal and Serve.
+func (s *System) ReplayPending(store *kvstore.Store, j *IntentJournal) (int, error) {
+	return serve.ReplayPending(store, j)
+}
+
+// SubmitIdempotent routes one exactly-once mutation through the serving
+// front-end: op runs at most once for (clientID, seq) across retries and
+// power failures. Serve must have been called with a Journal configured.
+func (s *System) SubmitIdempotent(ctx context.Context, clientID, seq uint64, op IdemOp, opts ServeRequest) (IdemResult, error) {
+	if s.server == nil {
+		return IdemResult{}, fmt.Errorf("viyojit: not serving; call Serve first")
+	}
+	return s.server.SubmitIdempotent(ctx, clientID, seq, op, opts)
+}
+
+// NewRetryingClient builds a retrying client bound to the running
+// front-end. id must be non-zero and unique per live client.
+func (s *System) NewRetryingClient(id, seed uint64, cfg RetryConfig) (*RetryingClient, error) {
+	if s.server == nil {
+		return nil, fmt.Errorf("viyojit: not serving; call Serve first")
+	}
+	return serve.NewRetryingClient(s.server, id, seed, cfg)
 }
 
 // Serve starts the concurrent request front-end over this system: an
