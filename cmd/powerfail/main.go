@@ -20,6 +20,14 @@
 // power fails at swept event steps, and every recovery is checked for
 // zero lost acks and zero double-applies.
 //
+// The -nested-sweep mode goes one failure deeper: every outer crash
+// point's recovery is itself re-crashed up to -recrash-depth times at
+// seeded steps — during region restore, mid-WAL-replay, mid-intent-redo,
+// mid-emergency-drain — with the recovery running on a dirty budget
+// scaled by -recovery-budget-scale (the sagged-battery regime). The
+// persistent recovery cursor must resume, never regress, and the same
+// exactly-once oracle must hold once recovery finally completes.
+//
 // Usage:
 //
 //	powerfail [-size BYTES] [-seed S]
@@ -28,6 +36,8 @@
 //	          [-scrub-share F] [-no-scrub]
 //	          [-sag FRACTION] [-crash-step N]
 //	powerfail -serve-sweep [-serve-points N] [-serve-clients N] [-seed S]
+//	powerfail -nested-sweep [-serve-points N] [-serve-clients N] [-seed S]
+//	          [-recrash-depth N] [-recovery-budget-scale F]
 package main
 
 import (
@@ -39,6 +49,7 @@ import (
 	"viyojit"
 	"viyojit/internal/faultinject"
 	"viyojit/internal/faultinject/crashsweep"
+	"viyojit/internal/obs"
 	"viyojit/internal/sim"
 )
 
@@ -58,10 +69,17 @@ func main() {
 	crashStep := flag.Uint64("crash-step", 0, "pull the plug at this event-queue step (0 = after the workload)")
 	metricsOut := flag.String("metrics", "", `dump the system's metrics/trace export to this file after the durability check ("-" = stdout; a .json suffix selects JSON, otherwise text)`)
 	serveSweep := flag.Bool("serve-sweep", false, "run the live-traffic exactly-once crash sweep instead of the durability demo")
-	servePoints := flag.Int("serve-points", 200, "crash points for -serve-sweep")
-	serveClients := flag.Int("serve-clients", 10, "concurrent retrying clients for -serve-sweep")
+	servePoints := flag.Int("serve-points", 200, "crash points for -serve-sweep / -nested-sweep")
+	serveClients := flag.Int("serve-clients", 10, "concurrent retrying clients for -serve-sweep / -nested-sweep")
+	nestedSweep := flag.Bool("nested-sweep", false, "run the cascading-failure sweep: re-crash each outer crash point's recovery")
+	recrashDepth := flag.Int("recrash-depth", 3, "max cascaded re-crashes inside one recovery for -nested-sweep")
+	recoveryScale := flag.Float64("recovery-budget-scale", 1.0, "recovery dirty-budget scale in (0,1] for -nested-sweep (sagged-battery regime)")
 	flag.Parse()
 
+	if *nestedSweep {
+		runNestedSweep(*seed, *servePoints, *serveClients, *recrashDepth, *recoveryScale)
+		return
+	}
 	if *serveSweep {
 		runServeSweep(*seed, *servePoints, *serveClients)
 		return
@@ -281,6 +299,57 @@ func runServeSweep(seed uint64, points, clients int) {
 		fatal(fmt.Errorf("%d exactly-once violations", len(res.Violations)))
 	}
 	fmt.Println("exactly-once held at every crash point: zero lost acks, zero double-applies")
+}
+
+// runNestedSweep narrates the cascading-failure sweep: each outer crash
+// point's recovery is re-crashed at seeded in-recovery steps, on a
+// possibly shrunken budget, and must resume from the persistent cursor
+// until it completes and passes the exactly-once oracle.
+func runNestedSweep(seed uint64, points, clients, depth int, scale float64) {
+	if scale <= 0 || scale > 1 {
+		fatal(fmt.Errorf("-recovery-budget-scale %v outside (0,1]", scale))
+	}
+	fmt.Printf("cascading-failure sweep: %d outer crash points, re-crash depth %d, recovery budget scale %.2f, %d clients, seed %#x\n",
+		points, depth, scale, clients, seed)
+	reg := obs.NewRegistry()
+	res, err := crashsweep.RunNested(crashsweep.NestedConfig{
+		ServeConfig: crashsweep.ServeConfig{
+			Seed:           seed,
+			Clients:        clients,
+			MaxCrashPoints: points,
+		},
+		RecrashDepth: depth,
+		BudgetScale:  scale,
+		Obs:          reg,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("baseline %d events, stride %d; %d outer crashes, %d runs completed unarmed\n",
+		res.BaselineEvents, res.Stride, res.OuterCrashes, res.Completed)
+	fmt.Printf("recovery budget: %d pages; max dirty at outer crash %d, at in-recovery crash %d\n",
+		res.RecoveryBudget, res.MaxDirtyAtCrash, res.MaxDirtyAtInnerCrash)
+	for d, n := range res.InnerByDepth {
+		fmt.Printf("  depth %d: %d recoveries re-crashed\n", d+1, n)
+	}
+	fmt.Printf("re-crashes by recovery phase:")
+	for _, ph := range []string{"restore", "wal-replay", "intent-redo", "drain"} {
+		fmt.Printf(" %s %d", ph, res.InnerByPhase[ph])
+	}
+	fmt.Println()
+	fmt.Printf("cursor: %d resumed attempts (recovery_resumes_total %d), %d fallbacks; redo workload %d intents, %d pages dirtied (recovery_redo_pages %d), %d budget stalls (recovery_budget_stalls %d)\n",
+		res.Resumes, reg.Counter("recovery_resumes_total").Value(), res.Fallbacks,
+		res.RedoneIntents, res.RedoPages, reg.Counter("recovery_redo_pages").Value(),
+		res.BudgetStalls, reg.Counter("recovery_budget_stalls").Value())
+	fmt.Printf("retry streams: acked %d mutations, in-doubt replayed %d (deduped %d, fresh %d), acked retries absorbed %d\n",
+		res.AckedMutations, res.InDoubtReplayed, res.ReplayDeduped, res.ReplayFresh, res.AckedRetryDedups)
+	if len(res.Violations) > 0 {
+		for _, v := range res.Violations {
+			fmt.Fprintf(os.Stderr, "VIOLATION step %d: %s\n", v.Step, v.Msg)
+		}
+		fatal(fmt.Errorf("%d violations across cascaded recoveries", len(res.Violations)))
+	}
+	fmt.Println("exactly-once, cursor monotonicity, and dirty<=budget held at every crash depth")
 }
 
 // dumpMetrics writes the system's metrics/trace export to path: stdout

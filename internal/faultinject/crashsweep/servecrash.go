@@ -59,6 +59,7 @@ import (
 	"viyojit/internal/nvdram"
 	"viyojit/internal/pheap"
 	"viyojit/internal/power"
+	"viyojit/internal/recovery"
 	"viyojit/internal/serve"
 	"viyojit/internal/sim"
 	"viyojit/internal/ssd"
@@ -88,13 +89,30 @@ type ServeConfig struct {
 	// JournalPages sizes the intent-journal mapping; 0 selects 16.
 	JournalPages int
 	// BudgetPages is the dirty budget; 0 selects 8 — tight enough that
-	// journal appends and store writes force synchronous cleans, which
-	// put event-pump (and therefore crash) points INSIDE the
-	// intent-begun-but-not-completed window the redo path exists for.
+	// journal appends and store writes force synchronous cleans under
+	// load. Note the budget alone barely opens the
+	// intent-begun-but-not-completed window to the Crasher: forced
+	// cleans on the fault path are synchronous and fire no queue
+	// events; only a fault on a page whose asynchronous clean is still
+	// in flight steps the queue mid-op, and whether that ever happens
+	// is seed- and layout-dependent. Set CommitMarkers to open the
+	// window deterministically.
 	BudgetPages int
+	// CommitMarkers plants serve-side crash points inside each
+	// idempotent op's Begin→Complete critical section
+	// (serve.Config.CrashPoints): one queue-event strike instant after
+	// the intent record is durable and one after the mutation applies.
+	// Without them, whether any crash strands an in-flight intent for
+	// recovery's redo phase is left to the incidental
+	// in-flight-clean-wait path. The nested sweep sets this; the plain
+	// sweep's historical lattice leaves it off.
+	CommitMarkers bool
 	// Window is the journal's per-client dedup window; 0 selects the
 	// journal default.
 	Window int
+	// CursorPages sizes the persistent recovery-cursor mapping; 0 maps
+	// no cursor (the plain single-crash sweep). The nested sweep sets 1.
+	CursorPages int
 	// MaxCrashPoints is the number of crash points to inject; 0 selects
 	// 200. The sweep re-wraps the step space (same steps, different
 	// interleavings) until it has actually crashed that many runs.
@@ -201,6 +219,8 @@ type serveRun struct {
 	mgr     *core.Manager
 	heapM   *core.Mapping
 	jM      *core.Mapping
+	curM    *core.Mapping    // nil unless CursorPages > 0
+	cursor  *recovery.Cursor // nil unless CursorPages > 0
 	store   *kvstore.Store
 	journal *intent.Journal
 	srv     *serve.Server
@@ -244,7 +264,7 @@ func buildServe(cfg ServeConfig) (*serveRun, error) {
 	st := &serveRun{cfg: cfg}
 	st.clock = sim.NewClock()
 	st.events = sim.NewQueue()
-	regionPages := cfg.HeapPages + cfg.JournalPages
+	regionPages := cfg.HeapPages + cfg.JournalPages + cfg.CursorPages
 	var err error
 	st.region, err = nvdram.New(st.clock, nvdram.Config{Size: int64(regionPages) * pageSize})
 	if err != nil {
@@ -267,6 +287,14 @@ func buildServe(cfg ServeConfig) (*serveRun, error) {
 	if st.jM, err = st.mgr.Map("intent", int64(cfg.JournalPages)*pageSize); err != nil {
 		return nil, err
 	}
+	if cfg.CursorPages > 0 {
+		if st.curM, err = st.mgr.Map("cursor", int64(cfg.CursorPages)*pageSize); err != nil {
+			return nil, err
+		}
+		if st.cursor, err = recovery.CreateCursor(st.curM, nil); err != nil {
+			return nil, err
+		}
+	}
 	heap, err := pheap.Format(st.heapM)
 	if err != nil {
 		return nil, err
@@ -280,6 +308,7 @@ func buildServe(cfg ServeConfig) (*serveRun, error) {
 	st.srv, err = serve.New(st.clock, st.events, st.mgr, st.store, serve.Config{
 		Journal:      st.journal,
 		RecoverCrash: func(v any) bool { _, ok := faultinject.AsCrash(v); return ok },
+		CrashPoints:  cfg.CommitMarkers,
 	})
 	if err != nil {
 		return nil, err
@@ -321,6 +350,14 @@ func recoverServe(cfg ServeConfig, old *serveRun) (*serveRun, error) {
 	}
 	if st.jM, err = st.mgr.Map("intent", int64(cfg.JournalPages)*pageSize); err != nil {
 		return nil, err
+	}
+	if cfg.CursorPages > 0 {
+		if st.curM, err = st.mgr.Map("cursor", int64(cfg.CursorPages)*pageSize); err != nil {
+			return nil, err
+		}
+		if st.cursor, err = recovery.OpenCursor(st.curM, nil); err != nil {
+			return nil, err
+		}
 	}
 	heap, err := pheap.Open(st.heapM)
 	if err != nil {
@@ -662,11 +699,47 @@ func runServePoint(cfg ServeConfig, step uint64, keys [][]byte, res *ServeResult
 
 	// (4) Replay every client's retry stream: the in-doubt op must land
 	// exactly once, and a retried already-acked op must be absorbed.
-	if err := rec.srv.Start(); err != nil {
+	tally, err := replayRetryStreams(rec, logs, keys, fail)
+	if err != nil {
 		return err
 	}
+	res.InDoubtReplayed += tally.inDoubt
+	res.ReplayDeduped += tally.deduped
+	res.ReplayFresh += tally.fresh
+	res.AckedRetryDedups += tally.ackedDedups
+	res.MutationBytes += tally.mutationBytes
+
+	// (5) The oracle: recovered store == every acked-or-replayed
+	// mutation applied exactly once.
+	checkOracle(rec.store, keys, oracleExpect(logs, tally.replayed), fail)
+	rec.mgr.Close()
+	res.Violations = append(res.Violations, out...)
+	return nil
+}
+
+// replayTally is what one recovered server's retry-stream replay
+// produced — the shared verdict of the single-crash and nested sweeps.
+type replayTally struct {
+	inDoubt       int
+	deduped       int
+	fresh         int
+	ackedDedups   int
+	mutationBytes uint64
+	replayed      []mutation
+}
+
+// replayRetryStreams drives every client's post-crash retry protocol
+// against a recovered server: the in-doubt op must land exactly once
+// (deduped from the result cache or freshly applied — never a
+// retry-time redo, since recovery-time ReplayPending ran first), and a
+// retried already-acked op must be absorbed without re-execution. The
+// server is started and stopped here.
+func replayRetryStreams(rec *serveRun, logs []*clientLog, keys [][]byte, fail func(string, ...any)) (replayTally, error) {
+	var tally replayTally
+	if err := rec.srv.Start(); err != nil {
+		return tally, err
+	}
 	ctx := context.Background()
-	var replayed []mutation
 	for _, lg := range logs {
 		cl, cerr := serve.NewRetryingClient(rec.srv, lg.id, lg.seedBase^0x5EC0D, serve.RetryConfig{Priority: serve.PriorityNormal})
 		if cerr != nil {
@@ -678,18 +751,18 @@ func runServePoint(cfg ServeConfig, step uint64, keys [][]byte, res *ServeResult
 			if rerr != nil {
 				fail("client %d: in-doubt seq %d failed on replay: %v", lg.id, m.seq, rerr)
 			} else {
-				res.InDoubtReplayed++
-				replayed = append(replayed, *m)
-				res.MutationBytes += uint64(len(keys[m.key]) + valBytes)
+				tally.inDoubt++
+				tally.replayed = append(tally.replayed, *m)
+				tally.mutationBytes += uint64(len(keys[m.key]) + valBytes)
 				switch {
 				case r.Deduped:
-					res.ReplayDeduped++
+					tally.deduped++
 				case r.Redone:
 					// ReplayPending ran first, so the retry-time redo
 					// fallback must never fire.
 					fail("client %d: in-doubt seq %d hit retry-time redo after recovery replay", lg.id, m.seq)
 				default:
-					res.ReplayFresh++
+					tally.fresh++
 				}
 			}
 		}
@@ -705,18 +778,12 @@ func runServePoint(cfg ServeConfig, step uint64, keys [][]byte, res *ServeResult
 			case !r.Deduped && !r.Redone:
 				fail("client %d: retry of acked seq %d re-executed fresh (double apply)", lg.id, m.seq)
 			default:
-				res.AckedRetryDedups++
+				tally.ackedDedups++
 			}
 		}
 	}
 	rec.srv.Stop()
-
-	// (5) The oracle: recovered store == every acked-or-replayed
-	// mutation applied exactly once.
-	checkOracle(rec.store, keys, oracleExpect(logs, replayed), fail)
-	rec.mgr.Close()
-	res.Violations = append(res.Violations, out...)
-	return nil
+	return tally, nil
 }
 
 // RunServe executes the live-traffic sweep: one un-crashed calibration

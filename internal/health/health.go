@@ -341,6 +341,26 @@ func BudgetPages(pm power.Model, effectiveJoules float64, bandwidth, dramBytes i
 	return pages
 }
 
+// RecoveryBudget is the dirty budget a recovery attempt runs under:
+// BudgetPages re-derived from the *current* (possibly aged or sagged)
+// battery energy, scaled by a further safety factor for the
+// cascading-outage regime — recovery after an outage runs on less
+// energy than the run that crashed, and a replay sized to the old
+// budget would dirty more than a re-failure could flush. The result is
+// floored at one page: a zero budget would deadlock replay outright,
+// and a single-page budget degrades to fully-synchronous redo, which is
+// slow but safe.
+func RecoveryBudget(pm power.Model, effectiveJoules, scale float64, bandwidth, dramBytes int64, pageSize int, overhead sim.Duration) int {
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	pages := int(float64(BudgetPages(pm, effectiveJoules, bandwidth, dramBytes, pageSize, overhead)) * scale)
+	if pages < 1 {
+		pages = 1
+	}
+	return pages
+}
+
 // bandwidthEstimate is the monitor's live bandwidth input: the SSD's
 // wear-modelled sustained bandwidth, scaled down further when the
 // *measured* per-IO goodput falls short of what the device model

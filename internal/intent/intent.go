@@ -685,6 +685,41 @@ func (j *Journal) Snapshot() map[uint64]ClientSnapshot {
 	return out
 }
 
+// PendingIntent is one in-flight intent (journaled Begin without a
+// Complete) in the deterministic replay order.
+type PendingIntent struct {
+	Client uint64
+	Seq    uint64
+	Entry  Entry
+}
+
+// Pending lists every in-flight intent sorted by (client, seq). This is
+// the canonical redo order for restartable recovery: replaying the list
+// by index is deterministic across attempts, so a persistent cursor
+// counting completed redos identifies exactly which intents a resumed
+// recovery may skip. Entry slices are deep-copied.
+func (j *Journal) Pending() []PendingIntent {
+	var out []PendingIntent
+	for c, w := range j.table {
+		for s, e := range w.entries {
+			if e.done {
+				continue
+			}
+			view := Entry{OpSum: e.opSum, Done: e.done, Code: e.code, Tombstone: e.tombstone}
+			view.RedoKey = append([]byte(nil), e.key...)
+			view.RedoVal = append([]byte(nil), e.val...)
+			out = append(out, PendingIntent{Client: c, Seq: s, Entry: view})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Client != out[b].Client {
+			return out[a].Client < out[b].Client
+		}
+		return out[a].Seq < out[b].Seq
+	})
+	return out
+}
+
 // Checksum is the op checksum clients record with an intent: FNV-1a
 // over the key, the value image and a caller-chosen tag. Retrying the
 // same logical op yields the same sum; reusing a seq for a different op

@@ -1,0 +1,112 @@
+package recovery
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRecoveryCursor throws arbitrary bytes — truncations, bit flips,
+// torn slot writes — at OpenCursor and checks the resume contract: the
+// cursor either resumes from a record that round-trips verification, or
+// falls back to a fresh from-scratch cursor. It must never surface a
+// progress record that did not decode cleanly (the "partial redo applied
+// silently" failure ISSUE 8 forbids), and the post-open cursor must
+// always be durable and usable.
+func FuzzRecoveryCursor(f *testing.F) {
+	// Seeds: a legitimate mid-recovery cursor, its torn/flipped
+	// variants, and degenerate stores.
+	mk := func(mut func(b []byte)) []byte {
+		st := newMemStore(MinCursorBytes)
+		c, err := CreateCursor(st, nil)
+		if err != nil {
+			f.Fatalf("seed CreateCursor: %v", err)
+		}
+		if _, _, err := c.BeginRecovery(8); err != nil {
+			f.Fatalf("seed BeginRecovery: %v", err)
+		}
+		if err := c.Advance(PhaseIntentRedo, 7); err != nil {
+			f.Fatalf("seed Advance: %v", err)
+		}
+		if mut != nil {
+			mut(st.b)
+		}
+		return st.b
+	}
+	f.Add(mk(nil))
+	f.Add(mk(func(b []byte) { b[12] ^= 0x01 }))           // bit flip in slot 0
+	f.Add(mk(func(b []byte) { b[slotBytes+12] ^= 0x80 })) // bit flip in slot 1
+	f.Add(mk(func(b []byte) { copy(b[slotBytes:], make([]byte, 32)) }))
+	f.Add(make([]byte, MinCursorBytes))    // all zeros
+	f.Add(bytes.Repeat([]byte{0xFF}, 200)) // all ones, odd size
+	f.Add([]byte{1, 2, 3})                 // truncated below minimum
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		st := &memStore{b: append([]byte(nil), raw...)}
+		c, err := OpenCursor(st, nil)
+		if st.Size() < MinCursorBytes {
+			if err == nil {
+				t.Fatalf("OpenCursor accepted undersized store of %d bytes", st.Size())
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("OpenCursor on %d-byte store: %v", st.Size(), err)
+		}
+
+		p := c.Progress()
+		if c.FellBack() {
+			// Fallback must mean from-scratch: nothing to resume.
+			if c.Resumed() || p.InRecovery() || p.Incarnation != 0 || p.Record != 0 {
+				t.Fatalf("fallback cursor still carries state: resumed=%v %+v", c.Resumed(), p)
+			}
+		} else {
+			// The adopted record must be one that verifies: re-decode the
+			// slot its Seq selects and demand an exact match. This is the
+			// "never trust a partial record" property.
+			var slot [slotBytes]byte
+			if err := st.ReadAt(slot[:], int64(p.Seq%2)*slotBytes); err != nil {
+				t.Fatalf("re-read adopted slot: %v", err)
+			}
+			dec, ok := decodeSlot(slot[:])
+			if !ok || dec != p {
+				t.Fatalf("cursor adopted a record that does not verify: %+v (decoded ok=%v %+v)", p, ok, dec)
+			}
+			if c.Resumed() != p.InRecovery() {
+				t.Fatalf("resumed=%v disagrees with progress %+v", c.Resumed(), p)
+			}
+		}
+		if p.Phase > PhaseDone {
+			t.Fatalf("out-of-range phase surfaced: %+v", p)
+		}
+
+		// Whatever Open decided, the cursor must now be usable: a full
+		// begin→advance→finish pass succeeds and survives reopen.
+		prev := p
+		np, resumed, err := c.BeginRecovery(4)
+		if err != nil {
+			t.Fatalf("BeginRecovery after open: %v", err)
+		}
+		if resumed != prev.InRecovery() {
+			t.Fatalf("BeginRecovery resumed=%v, but prior progress %+v", resumed, prev)
+		}
+		if resumed && np.Record != prev.Record {
+			t.Fatalf("resume lost Record: %+v -> %+v", prev, np)
+		}
+		if prev.Less(np) == false && np != prev {
+			t.Fatalf("BeginRecovery regressed: %+v -> %+v", prev, np)
+		}
+		if err := c.Advance(PhaseIntentRedo, np.Record+1); err != nil {
+			t.Fatalf("Advance after open: %v", err)
+		}
+		if err := c.Finish(); err != nil {
+			t.Fatalf("Finish after open: %v", err)
+		}
+		c2, err := OpenCursor(st, nil)
+		if err != nil {
+			t.Fatalf("reopen: %v", err)
+		}
+		if got := c2.Progress(); got != c.Progress() {
+			t.Fatalf("reopen does not round-trip: wrote %+v, read %+v", c.Progress(), got)
+		}
+	})
+}

@@ -19,6 +19,12 @@ import (
 type RestoreReport struct {
 	PagesRestored int
 	RestoreTime   sim.Duration
+	// BudgetPages is the dirty budget the recovered system came up
+	// under, re-derived from the battery charge actually available at
+	// recovery time (possibly sagged below what the failed run enjoyed;
+	// see health.RecoveryBudget). 0 when the restore path does not
+	// derive one.
+	BudgetPages int
 	// Integrity is the verify-on-restore outcome: every durable page's
 	// checksum verdict and what was done about failures.
 	Integrity IntegrityReport

@@ -142,6 +142,7 @@ func (s *Server) execIdem(e Exec, req Request) (any, error) {
 		if err != nil {
 			return nil, err
 		}
+		s.crashPoint() // redo applied, completion record not yet durable
 		resVal := cloneBytes(ent.RedoVal)
 		if err := j.Complete(client, seq, code, resVal); err != nil && !errors.Is(err, intent.ErrJournalFull) {
 			return nil, err
@@ -186,12 +187,14 @@ func (s *Server) execIdem(e Exec, req Request) (any, error) {
 		}
 		return nil, err
 	}
+	s.crashPoint() // intent durable, mutation not yet applied
 	code, err := applyImage(e.Store, op.Key, image, tombstone)
 	if err != nil {
 		// Intent stands, mutation state unknown — exactly the situation
 		// the redo record repairs on the next retry of this seq.
 		return nil, err
 	}
+	s.crashPoint() // mutation applied, completion record not yet durable
 	resVal := cloneBytes(image)
 	if err := j.Complete(client, seq, code, resVal); err != nil && !errors.Is(err, intent.ErrJournalFull) {
 		return nil, err
@@ -216,28 +219,12 @@ func (s *Server) execIdem(e Exec, req Request) (any, error) {
 //
 // Returns the number of intents redone. Under a serially-dispatched
 // server at most one intent can be in flight per crash; the loop handles
-// any number for journals with other producers.
+// any number for journals with other producers. Redos run in the
+// journal's deterministic (client, seq) order; ReplayPendingWith is the
+// restartable, budget-aware form.
 func ReplayPending(store *kvstore.Store, j *intent.Journal) (int, error) {
-	if store == nil || j == nil {
-		return 0, fmt.Errorf("serve: ReplayPending needs a store and a journal")
-	}
-	redone := 0
-	for client, snap := range j.Snapshot() {
-		for seq, ent := range snap.Entries {
-			if ent.Done {
-				continue
-			}
-			code, err := applyImage(store, ent.RedoKey, ent.RedoVal, ent.Tombstone)
-			if err != nil {
-				return redone, fmt.Errorf("serve: redo of client %d seq %d: %w", client, seq, err)
-			}
-			if err := j.Complete(client, seq, code, cloneBytes(ent.RedoVal)); err != nil && !errors.Is(err, intent.ErrJournalFull) {
-				return redone, fmt.Errorf("serve: completing redo of client %d seq %d: %w", client, seq, err)
-			}
-			redone++
-		}
-	}
-	return redone, nil
+	stats, err := ReplayPendingWith(store, j, ReplayOptions{})
+	return stats.Redone, err
 }
 
 // applyImage blindly applies a redo image — the idempotent primitive

@@ -164,6 +164,18 @@ type Config struct {
 	// crashing the process; the panic value is re-raised otherwise. nil
 	// means every panic propagates.
 	RecoverCrash func(v any) bool
+	// CrashPoints opens each idempotent op's durability windows to a
+	// step-armed fault injector: the Begin→apply→Complete critical
+	// section fires queue events only on the manager's narrow
+	// in-flight-clean wait path, so a simulated power failure almost
+	// always strikes between ops — rarely in the window where an intent
+	// is durable but its completion is not, the exact state recovery's
+	// redo phase exists to repair. When set, the server fires one no-op
+	// queue event after the intent record lands and another after the
+	// mutation applies, giving a crash harness two deterministic strike
+	// instants per op. Off in production: the markers cost an event
+	// fire each and widen nothing but the crash lattice.
+	CrashPoints bool
 }
 
 func (c Config) withDefaults() Config {
@@ -768,6 +780,19 @@ func (s *Server) pump() {
 func (s *Server) advanceTo(t sim.Time) {
 	s.events.RunUntil(s.clock, t)
 	s.publish()
+}
+
+// crashPoint fires one no-op queue event at the current instant when
+// Config.CrashPoints is set: a strike point for a step-armed fault
+// injector inside an idempotent op's durability window (see the Config
+// field). A crash panic raised here unwinds to the dispatch loop's
+// containment, leaving the journaled intent durably in flight.
+func (s *Server) crashPoint() {
+	if !s.cfg.CrashPoints {
+		return
+	}
+	s.events.Schedule(s.clock.Now(), func(sim.Time) {})
+	s.events.RunUntil(s.clock, s.clock.Now())
 }
 
 // stallEstimate predicts the synchronous clean time a write admitted

@@ -29,6 +29,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sync"
 
 	"viyojit/internal/battery"
 	"viyojit/internal/core"
@@ -110,6 +111,21 @@ type (
 	// IntentStats are a journal's counters (append traffic, live
 	// entries, compaction generation).
 	IntentStats = intent.Stats
+	// RecoveryCursor is the persistent, battery-backed recovery
+	// progress cursor: which phase and record recovery has durably
+	// completed, so a re-crash during replay resumes instead of
+	// re-running (see System.NewRecoveryCursor).
+	RecoveryCursor = recovery.Cursor
+	// RecoveryProgress is a cursor's durable position.
+	RecoveryProgress = recovery.Progress
+	// RecoveryPhase names one phase of the restartable recovery
+	// pipeline (restore, WAL replay, intent redo, drain).
+	RecoveryPhase = recovery.Phase
+	// ReplayOptions parameterises the restartable, budget-aware intent
+	// replay (System.ReplayPendingWith).
+	ReplayOptions = serve.ReplayOptions
+	// ReplayStats reports what a restartable replay did.
+	ReplayStats = serve.ReplayStats
 	// MetricsRegistry is the system-wide observability registry
 	// returned by System.Metrics.
 	MetricsRegistry = obs.Registry
@@ -242,7 +258,11 @@ type Config struct {
 const fixedFlushOverhead = Duration(500 * sim.Microsecond)
 
 // System is a fully wired Viyojit stack. It is not safe for concurrent
-// use: the simulation is single-goroutine (DESIGN.md §5).
+// use: the simulation is single-goroutine (DESIGN.md §5). The lifecycle
+// entry points — Close, Recover, RecoverWith — are the one exception:
+// they serialise on an internal mutex and are idempotent, so shutdown
+// paths that race (a defer against an explicit Close, a crash handler
+// against a recovery loop) cannot double-stop the stack.
 type System struct {
 	clock    *sim.Clock
 	events   *sim.Queue
@@ -256,6 +276,9 @@ type System struct {
 	server   *serve.Server
 	reg      *obs.Registry
 	cfg      Config
+
+	lifecycle sync.Mutex
+	closed    bool
 }
 
 // New builds a System: region, device, battery, and manager, with the
@@ -620,6 +643,44 @@ func (s *System) ReplayPending(store *kvstore.Store, j *IntentJournal) (int, err
 	return serve.ReplayPending(store, j)
 }
 
+// ReplayPendingWith is ReplayPending made restartable and budget-aware:
+// with a cursor (opts.Cursor) each redo's completion is durably
+// recorded before the next starts, so a power failure mid-replay
+// resumes instead of re-running; the system's manager paces the redos
+// against the current dirty budget, and the system's registry receives
+// the replay instruments. See serve.ReplayPendingWith for the full
+// contract.
+func (s *System) ReplayPendingWith(store *kvstore.Store, j *IntentJournal, cursor *RecoveryCursor) (ReplayStats, error) {
+	return serve.ReplayPendingWith(store, j, serve.ReplayOptions{
+		Cursor: cursor,
+		Mgr:    s.manager,
+		Obs:    s.reg,
+	})
+}
+
+// NewRecoveryCursor formats a persistent recovery cursor over a named
+// battery-backed mapping (at least recovery.MinCursorBytes long) and
+// wires its instruments to the system registry. Create it once at
+// format time; reopen with OpenRecoveryCursor after a power cycle.
+func (s *System) NewRecoveryCursor(name string, size int64) (*RecoveryCursor, error) {
+	m, err := s.Map(name, size)
+	if err != nil {
+		return nil, err
+	}
+	return recovery.CreateCursor(m, s.reg)
+}
+
+// OpenRecoveryCursor reopens a persistent recovery cursor from a named
+// mapping after a power cycle. A torn slot write costs one write, never
+// the cursor: the reader adopts the newest intact slot.
+func (s *System) OpenRecoveryCursor(name string, size int64) (*RecoveryCursor, error) {
+	m, err := s.Map(name, size)
+	if err != nil {
+		return nil, err
+	}
+	return recovery.OpenCursor(m, s.reg)
+}
+
 // SubmitIdempotent routes one exactly-once mutation through the serving
 // front-end: op runs at most once for (clientID, seq) across retries and
 // power failures. Serve must have been called with a Journal configured.
@@ -696,6 +757,18 @@ func (s *System) SimulatePowerFailure() PowerFailReport {
 // contents of every NV-DRAM page.
 func (s *System) VerifyDurability() error { return s.manager.VerifyDurability() }
 
+// RecoverOptions parameterises RecoverWith.
+type RecoverOptions struct {
+	// BudgetScale scales the recovered system's initial dirty budget
+	// relative to what the battery charge available at recovery time
+	// supports: a cascading outage recharges nothing between failures,
+	// so the replaying system may have to live under a smaller budget
+	// than the run that crashed. Values in (0, 1]; 0 selects 1.0. The
+	// derived budget is floored at one page (health.RecoveryBudget) and
+	// reported in RestoreReport.BudgetPages.
+	BudgetScale float64
+}
+
 // Recover builds a fresh System of the same configuration whose NV-DRAM
 // is reloaded from this system's SSD — the warm reboot after a power
 // cycle. Every durable page is checksum-verified before it is restored:
@@ -704,9 +777,48 @@ func (s *System) VerifyDurability() error { return s.manager.VerifyDurability() 
 // power cycle the DRAM copy is gone, so there is no repair source — the
 // background scrubber is what catches corruption while repair is still
 // possible.)
+//
+// Recover quiesces this system first (an idempotent Close): the durable
+// store changes hands, and the old stack's background tasks must not
+// keep mutating it. Calling Recover again afterwards is safe — the
+// durable source is read-only here, so each call yields an independent
+// fresh System.
 func (s *System) Recover() (*System, recovery.RestoreReport, error) {
+	return s.RecoverWith(RecoverOptions{})
+}
+
+// RecoverWith is Recover with the recovered budget re-derived from the
+// battery energy actually on hand: the recovery-after-recovery path,
+// where the battery may have sagged between outages (opts.BudgetScale).
+func (s *System) RecoverWith(opts RecoverOptions) (*System, recovery.RestoreReport, error) {
+	scale := opts.BudgetScale
+	if scale == 0 {
+		scale = 1.0
+	}
+	if scale < 0 || scale > 1 {
+		return nil, recovery.RestoreReport{}, fmt.Errorf("viyojit: budget scale %v outside (0,1]", scale)
+	}
+	// The whole walk holds the lifecycle lock: quiesce and restore are
+	// one critical section, so racing Recover calls serialise instead
+	// of interleaving reads of the source device with each other (its
+	// verify counters are not concurrency-safe) or with a Close.
+	s.lifecycle.Lock()
+	defer s.lifecycle.Unlock()
+	// Sample the surviving battery BEFORE quiescing: this charge — not
+	// the fresh system's nameplate figure — is what bounds the dirty
+	// set the recovered run can afford until the battery recharges.
+	effective := s.batt.EffectiveJoules()
+	s.closeLocked()
+
 	ns, err := New(s.cfg)
 	if err != nil {
+		return nil, recovery.RestoreReport{}, err
+	}
+	conservativeBW := int64(float64(ns.dev.Config().WriteBandwidth) * ns.cfg.BandwidthDerating)
+	recBudget := health.RecoveryBudget(ns.pm, effective, scale, conservativeBW,
+		ns.region.Size(), ns.region.PageSize(), fixedFlushOverhead)
+	if err := ns.manager.SetDirtyBudget(recBudget); err != nil {
+		ns.Close()
 		return nil, recovery.RestoreReport{}, err
 	}
 	// The new System's device object represents the same physical SSD,
@@ -740,13 +852,27 @@ func (s *System) Recover() (*System, recovery.RestoreReport, error) {
 	return ns, recovery.RestoreReport{
 		PagesRestored: restored,
 		RestoreTime:   ns.clock.Now().Sub(start),
+		BudgetPages:   recBudget,
 		Integrity:     integ,
 	}, nil
 }
 
 // Close stops the serving front-end (if any), the health monitor, the
 // scrubber, and the background epoch task, and drains in-flight IO.
+// Close is idempotent and safe to race against itself and against
+// Recover/RecoverWith: the first caller stops the stack, the rest
+// return immediately.
 func (s *System) Close() {
+	s.lifecycle.Lock()
+	defer s.lifecycle.Unlock()
+	s.closeLocked()
+}
+
+func (s *System) closeLocked() {
+	if s.closed {
+		return
+	}
+	s.closed = true
 	if s.server != nil {
 		s.server.Stop()
 		s.server = nil

@@ -1,0 +1,162 @@
+package viyojit
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// TestCloseIdempotent: Close twice (and after a power failure) must be
+// a no-op the second time, not a double-stop.
+func TestCloseIdempotent(t *testing.T) {
+	sys := newTestSystem(t, Config{})
+	sys.Close()
+	sys.Close()
+
+	failed := newTestSystem(t, Config{})
+	if rep := failed.SimulatePowerFailure(); !rep.Survived {
+		t.Fatalf("power failure not survived: %+v", rep)
+	}
+	failed.Close()
+	failed.Close()
+}
+
+// TestRecoverQuiescesOldSystem: Recover closes the source system, and a
+// later explicit Close is absorbed. The durable source stays readable,
+// so Recover is itself repeatable — each call yields an independent
+// fresh System with the same restored bytes.
+func TestRecoverQuiescesOldSystem(t *testing.T) {
+	sys := newTestSystem(t, Config{})
+	m, err := sys.Map("heap", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("survives any number of reboots")
+	if err := m.WriteAt(payload, 512); err != nil {
+		t.Fatal(err)
+	}
+	if rep := sys.SimulatePowerFailure(); !rep.Survived {
+		t.Fatalf("power failure not survived: %+v", rep)
+	}
+
+	readBack := func(ns *System) []byte {
+		t.Helper()
+		nm, err := ns.Map("heap", 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, len(payload))
+		if err := nm.ReadAt(got, 512); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+
+	first, _, err := sys.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+	second, _, err := sys.Recover()
+	if err != nil {
+		t.Fatalf("second Recover from the same source: %v", err)
+	}
+	defer second.Close()
+	if got := readBack(first); !bytes.Equal(got, payload) {
+		t.Fatalf("first recovery read %q, want %q", got, payload)
+	}
+	if got := readBack(second); !bytes.Equal(got, payload) {
+		t.Fatalf("second recovery read %q, want %q", got, payload)
+	}
+	sys.Close() // already quiesced by Recover; must be a no-op
+}
+
+// TestCloseRecoverRace: the lifecycle entry points must be safe to race
+// (run under -race in CI). Many goroutines close and recover the same
+// system at once; exactly the usual shutdown-path hazard.
+func TestCloseRecoverRace(t *testing.T) {
+	sys := newTestSystem(t, Config{})
+	m, err := sys.Map("heap", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteAt([]byte("raced"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if rep := sys.SimulatePowerFailure(); !rep.Survived {
+		t.Fatalf("power failure not survived: %+v", rep)
+	}
+
+	var wg sync.WaitGroup
+	recovered := make([]*System, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			sys.Close()
+		}()
+		go func(slot int) {
+			defer wg.Done()
+			ns, _, err := sys.Recover()
+			if err != nil {
+				t.Errorf("racing Recover: %v", err)
+				return
+			}
+			recovered[slot] = ns
+		}(i)
+	}
+	wg.Wait()
+	for _, ns := range recovered {
+		if ns != nil {
+			ns.Close()
+		}
+	}
+}
+
+// TestRecoverWithBudgetScale: the recovered system comes up under a
+// budget re-derived from the battery charge on hand, scaled for the
+// sagged-battery regime — and the scaled figure is what the manager
+// actually enforces.
+func TestRecoverWithBudgetScale(t *testing.T) {
+	sys := newTestSystem(t, Config{})
+	if _, err := sys.Map("heap", 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	if rep := sys.SimulatePowerFailure(); !rep.Survived {
+		t.Fatalf("power failure not survived: %+v", rep)
+	}
+
+	full, fullReport, err := sys.RecoverWith(RecoverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer full.Close()
+	if fullReport.BudgetPages < 1 {
+		t.Fatalf("full-scale recovery budget %d, want >= 1", fullReport.BudgetPages)
+	}
+	if got := full.DirtyBudget(); got != fullReport.BudgetPages {
+		t.Fatalf("manager budget %d != reported %d", got, fullReport.BudgetPages)
+	}
+
+	half, halfReport, err := sys.RecoverWith(RecoverOptions{BudgetScale: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer half.Close()
+	if halfReport.BudgetPages >= fullReport.BudgetPages {
+		t.Fatalf("half-scale budget %d not below full-scale %d", halfReport.BudgetPages, fullReport.BudgetPages)
+	}
+	if halfReport.BudgetPages < 1 {
+		t.Fatalf("half-scale budget %d below the one-page floor", halfReport.BudgetPages)
+	}
+	if got := half.DirtyBudget(); got != halfReport.BudgetPages {
+		t.Fatalf("manager budget %d != reported %d", got, halfReport.BudgetPages)
+	}
+
+	if _, _, err := sys.RecoverWith(RecoverOptions{BudgetScale: 1.5}); err == nil {
+		t.Fatal("budget scale 1.5 accepted")
+	}
+	if _, _, err := sys.RecoverWith(RecoverOptions{BudgetScale: -0.1}); err == nil {
+		t.Fatal("budget scale -0.1 accepted")
+	}
+}
