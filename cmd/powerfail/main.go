@@ -28,6 +28,16 @@
 // persistent recovery cursor must resume, never regress, and the same
 // exactly-once oracle must hold once recovery finally completes.
 //
+// The -sensor-sweep mode attacks the energy telemetry instead of the
+// storage: the dirty budget is derived from the fused two-gauge sensor
+// while seeded injectors corrupt the gauges (the voltage gauge lying up
+// to 50% high), and every swept power failure checks that the flush
+// completed within TRUE battery energy, that dirty stayed within the
+// fused-derived budget at every sample, and that each fault class was
+// detected within its MTTD bound. -gauge-lie / -gauge-stuck /
+// -gauge-drift override the voltage gauge's episode probabilities
+// (setting any one replaces the whole default menu).
+//
 // Usage:
 //
 //	powerfail [-size BYTES] [-seed S]
@@ -38,6 +48,8 @@
 //	powerfail -serve-sweep [-serve-points N] [-serve-clients N] [-seed S]
 //	powerfail -nested-sweep [-serve-points N] [-serve-clients N] [-seed S]
 //	          [-recrash-depth N] [-recovery-budget-scale F]
+//	powerfail -sensor-sweep [-serve-points N] [-serve-clients N] [-seed S]
+//	          [-gauge-lie P] [-gauge-stuck P] [-gauge-drift P] [-gauge-lie-max F]
 package main
 
 import (
@@ -74,8 +86,17 @@ func main() {
 	nestedSweep := flag.Bool("nested-sweep", false, "run the cascading-failure sweep: re-crash each outer crash point's recovery")
 	recrashDepth := flag.Int("recrash-depth", 3, "max cascaded re-crashes inside one recovery for -nested-sweep")
 	recoveryScale := flag.Float64("recovery-budget-scale", 1.0, "recovery dirty-budget scale in (0,1] for -nested-sweep (sagged-battery regime)")
+	sensorSweep := flag.Bool("sensor-sweep", false, "run the lying-fuel-gauge crash sweep: budget from fused telemetry under gauge faults")
+	gaugeLie := flag.Float64("gauge-lie", 0, "voltage-gauge lie-high episode probability per sample for -sensor-sweep (0 with all gauge flags zero = default menu)")
+	gaugeStuck := flag.Float64("gauge-stuck", 0, "voltage-gauge stuck episode probability per sample for -sensor-sweep")
+	gaugeDrift := flag.Float64("gauge-drift", 0, "voltage-gauge upward-drift episode probability per sample for -sensor-sweep")
+	gaugeLieMax := flag.Float64("gauge-lie-max", 0, "max fractional over-report of a lie-high episode for -sensor-sweep (0 = 0.5)")
 	flag.Parse()
 
+	if *sensorSweep {
+		runSensorSweep(*seed, *servePoints, *serveClients, *gaugeLie, *gaugeStuck, *gaugeDrift, *gaugeLieMax)
+		return
+	}
 	if *nestedSweep {
 		runNestedSweep(*seed, *servePoints, *serveClients, *recrashDepth, *recoveryScale)
 		return
@@ -350,6 +371,74 @@ func runNestedSweep(seed uint64, points, clients, depth int, scale float64) {
 		fatal(fmt.Errorf("%d violations across cascaded recoveries", len(res.Violations)))
 	}
 	fmt.Println("exactly-once, cursor monotonicity, and dirty<=budget held at every crash depth")
+}
+
+// runSensorSweep narrates the lying-fuel-gauge crash sweep: the dirty
+// budget rides the fused two-gauge estimate while seeded injectors
+// corrupt the gauges, power fails at swept steps, and every run is
+// audited against the battery model as ground truth — the flush must
+// fit TRUE energy no matter what the gauges claimed.
+func runSensorSweep(seed uint64, points, clients int, lie, stuck, drift, lieMax float64) {
+	for _, p := range []float64{lie, stuck, drift} {
+		if p < 0 || p > 1 {
+			fatal(fmt.Errorf("gauge episode probability %v outside [0,1]", p))
+		}
+	}
+	if lieMax < 0 || lieMax > 1 {
+		fatal(fmt.Errorf("-gauge-lie-max %v outside [0,1]", lieMax))
+	}
+	fmt.Printf("lying-gauge crash sweep: %d crash points, %d clients, seed %#x\n", points, clients, seed)
+	if lie > 0 || stuck > 0 || drift > 0 {
+		fmt.Printf("voltage-gauge menu override: lie %.3f, stuck %.3f, drift %.3f\n", lie, stuck, drift)
+	}
+	res, err := crashsweep.RunSensor(crashsweep.SensorSweepConfig{
+		Serve: crashsweep.ServeConfig{
+			Seed:           seed,
+			Clients:        clients,
+			MaxCrashPoints: points,
+		},
+		Lie:          lie,
+		Stuck:        stuck,
+		Drift:        drift,
+		LieMagnitude: lieMax,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("baseline %d events, stride %d; %d runs crashed mid-traffic, %d ran past their step\n",
+		res.BaselineEvents, res.Stride, res.CrashPoints, res.Completed)
+	fmt.Printf("acked %d mutations (%d client retries); max dirty at crash %d pages\n",
+		res.AckedMutations, res.ClientRetries, res.MaxDirtyAtCrash)
+	fmt.Printf("fault episodes injected:")
+	for _, class := range []string{"lie-high", "spike", "stuck", "drift", "dropout"} {
+		fmt.Printf(" %s %d", class, res.Episodes[class])
+	}
+	fmt.Println()
+	fmt.Printf("fused-layer rejections:")
+	for _, reason := range []string{"bounds", "rate", "stale", "disagree"} {
+		fmt.Printf(" %s %d", reason, res.Detections[reason])
+	}
+	fmt.Println()
+	fmt.Printf("worst detection latency (MTTD):")
+	for _, class := range []string{"lie-high", "spike", "drift", "dropout"} {
+		if mttd, ok := res.MaxMTTD[class]; ok {
+			fmt.Printf(" %s %v", class, mttd)
+		}
+	}
+	fmt.Println(" (stuck exempt: truth is constant under serving)")
+	fmt.Printf("deepest conservative cut: fused/true %.3f; %d budget retunes, %d solo samples, %d blind samples\n",
+		res.MinFusedFraction, res.Retunes, res.SoloSamples, res.BlindSamples)
+	if res.EmergencyEnters > 0 {
+		fmt.Printf("NOTE: %d emergency escalations — the fused estimate dipped below the flush-overhead reserve\n",
+			res.EmergencyEnters)
+	}
+	if len(res.Violations) > 0 {
+		for _, v := range res.Violations {
+			fmt.Fprintf(os.Stderr, "VIOLATION step %d: %s\n", v.Step, v.Msg)
+		}
+		fatal(fmt.Errorf("%d telemetry-safety violations", len(res.Violations)))
+	}
+	fmt.Println("safety held at every crash point: no over-report followed, every flush fit true energy, exactly-once intact")
 }
 
 // dumpMetrics writes the system's metrics/trace export to path: stdout

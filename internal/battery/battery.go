@@ -8,10 +8,28 @@
 package battery
 
 import (
+	"errors"
 	"fmt"
+	"math"
 
 	"viyojit/internal/power"
 )
+
+// ErrInvalid is the sentinel every battery input-validation error
+// wraps; test with errors.Is. Capacity mutations arrive from runtime
+// control paths (operator tooling, telemetry-driven retuning), so a
+// NaN or Inf slipping through here would poison every budget derived
+// downstream — ordered comparisons alone wave NaN through, which is
+// why each guard rejects non-finite values explicitly.
+var ErrInvalid = errors.New("battery: invalid input")
+
+// finitePositive reports whether v is a usable capacity-like value:
+// finite and strictly positive. NaN fails (every comparison with NaN
+// is false, so `v > 0` alone would not reject it via the complement
+// check `v <= 0`).
+func finitePositive(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v > 0
+}
 
 // Config describes a provisioned battery.
 type Config struct {
@@ -38,14 +56,14 @@ func (c Config) withDefaults() Config {
 }
 
 func (c Config) validate() error {
-	if c.CapacityJoules <= 0 {
-		return fmt.Errorf("battery: capacity %v J must be positive", c.CapacityJoules)
+	if !finitePositive(c.CapacityJoules) {
+		return fmt.Errorf("%w: capacity %v J must be positive and finite", ErrInvalid, c.CapacityJoules)
 	}
-	if c.DepthOfDischarge <= 0 || c.DepthOfDischarge > 1 {
-		return fmt.Errorf("battery: depth of discharge %v outside (0,1]", c.DepthOfDischarge)
+	if !finitePositive(c.DepthOfDischarge) || c.DepthOfDischarge > 1 {
+		return fmt.Errorf("%w: depth of discharge %v outside (0,1]", ErrInvalid, c.DepthOfDischarge)
 	}
-	if c.Derating <= 0 || c.Derating > 1 {
-		return fmt.Errorf("battery: derating %v outside (0,1]", c.Derating)
+	if !finitePositive(c.Derating) || c.Derating > 1 {
+		return fmt.Errorf("%w: derating %v outside (0,1]", ErrInvalid, c.Derating)
 	}
 	return nil
 }
@@ -124,10 +142,11 @@ func (b *Battery) prepare(projected float64) {
 // SetCapacityJoules replaces the nameplate capacity — modelling cell
 // failures, replacement, or capacity reallocation between co-located
 // tenants — and notifies observers. Shrink observers run before the
-// change applies (see OnShrink). Non-positive capacities are rejected.
+// change applies (see OnShrink). Non-positive, NaN, and infinite
+// capacities are rejected with an error wrapping ErrInvalid.
 func (b *Battery) SetCapacityJoules(j float64) error {
-	if j <= 0 {
-		return fmt.Errorf("battery: capacity %v J must be positive", j)
+	if !finitePositive(j) {
+		return fmt.Errorf("%w: capacity %v J must be positive and finite", ErrInvalid, j)
 	}
 	b.prepare(j * b.cfg.DepthOfDischarge * b.cfg.Derating)
 	b.nameplate = j
@@ -140,10 +159,13 @@ func (b *Battery) SetCapacityJoules(j float64) error {
 // in range, restore) the usable fraction of the pack — and notifies
 // observers. Shrink observers run before a reducing change applies.
 // Unlike Age this is reversible: raising the derating back restores the
-// effective capacity. Values outside (0,1] are rejected.
+// effective capacity. Values outside (0,1], NaN, and Inf are rejected
+// with an error wrapping ErrInvalid (NaN would pass a bare range check
+// — both ordered comparisons are false — then scale every future
+// EffectiveJoules to NaN).
 func (b *Battery) SetDerating(d float64) error {
-	if d <= 0 || d > 1 {
-		return fmt.Errorf("battery: derating %v outside (0,1]", d)
+	if !finitePositive(d) || d > 1 {
+		return fmt.Errorf("%w: derating %v outside (0,1]", ErrInvalid, d)
 	}
 	b.prepare(b.nameplate * b.cfg.DepthOfDischarge * d)
 	b.cfg.Derating = d
@@ -157,8 +179,8 @@ func (b *Battery) Derating() float64 { return b.cfg.Derating }
 // Age reduces the nameplate capacity by the given fraction (0 ≤ f < 1)
 // and notifies observers. Shrink observers run before the change applies.
 func (b *Battery) Age(fraction float64) error {
-	if fraction < 0 || fraction >= 1 {
-		return fmt.Errorf("battery: ageing fraction %v outside [0,1)", fraction)
+	if math.IsNaN(fraction) || fraction < 0 || fraction >= 1 {
+		return fmt.Errorf("%w: ageing fraction %v outside [0,1)", ErrInvalid, fraction)
 	}
 	b.prepare(b.nameplate * (1 - fraction) * b.cfg.DepthOfDischarge * b.cfg.Derating)
 	b.nameplate *= 1 - fraction

@@ -1,0 +1,59 @@
+package battery
+
+// Poisoned-input hardening: a telemetry or operator path handing the
+// battery model NaN/Inf must get a typed error back, never a silent
+// state change — EffectiveJoules feeds the dirty budget, and NaN there
+// sails through every ordered comparison downstream.
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestSetCapacityRejectsNonFinite(t *testing.T) {
+	b := MustNew(Config{CapacityJoules: 1000, DepthOfDischarge: 1, Derating: 1})
+	for _, j := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), 0, -5} {
+		if err := b.SetCapacityJoules(j); !errors.Is(err, ErrInvalid) {
+			t.Errorf("SetCapacityJoules(%v) = %v, want ErrInvalid", j, err)
+		}
+	}
+	if got := b.EffectiveJoules(); got != 1000 {
+		t.Fatalf("effective joules %v after rejected updates, want untouched 1000", got)
+	}
+}
+
+func TestSetDeratingRejectsNonFinite(t *testing.T) {
+	b := MustNew(Config{CapacityJoules: 1000, DepthOfDischarge: 1, Derating: 1})
+	for _, d := range []float64{math.NaN(), math.Inf(1), 0, -0.1, 1.5} {
+		if err := b.SetDerating(d); !errors.Is(err, ErrInvalid) {
+			t.Errorf("SetDerating(%v) = %v, want ErrInvalid", d, err)
+		}
+	}
+	if got := b.EffectiveJoules(); got != 1000 {
+		t.Fatalf("effective joules %v after rejected updates, want untouched 1000", got)
+	}
+}
+
+func TestAgeRejectsNaN(t *testing.T) {
+	b := MustNew(Config{CapacityJoules: 1000, DepthOfDischarge: 1, Derating: 1})
+	for _, f := range []float64{math.NaN(), -0.1, 1, 2} {
+		if err := b.Age(f); !errors.Is(err, ErrInvalid) {
+			t.Errorf("Age(%v) = %v, want ErrInvalid", f, err)
+		}
+	}
+}
+
+func TestNewRejectsNonFiniteConfig(t *testing.T) {
+	bad := []Config{
+		{CapacityJoules: math.NaN()},
+		{CapacityJoules: math.Inf(1)},
+		{CapacityJoules: 100, DepthOfDischarge: math.NaN()},
+		{CapacityJoules: 100, Derating: math.NaN()},
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg); !errors.Is(err, ErrInvalid) {
+			t.Errorf("New(%+v) = %v, want ErrInvalid", cfg, err)
+		}
+	}
+}

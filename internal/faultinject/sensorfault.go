@@ -1,0 +1,217 @@
+package faultinject
+
+import (
+	"viyojit/internal/sensor"
+	"viyojit/internal/sim"
+)
+
+// sensorStreamSalt decorrelates the sensor-fault RNG stream from the
+// primary write-fault stream and the silent-fault stream. Sensor
+// faults live on their own seeded generator so adding gauge faults to
+// a run — or adding this subsystem to the codebase — cannot shift a
+// single draw of the legacy schedules: existing sweep modes stay
+// bit-identical under their existing seeds.
+const sensorStreamSalt = 0x5E45_0E17_FA57_D00D
+
+// SensorFaultClass enumerates the gauge fault models.
+type SensorFaultClass int
+
+const (
+	// SensorStuck freezes the reading at its onset value: a hung gauge
+	// that keeps answering with the last conversion.
+	SensorStuck SensorFaultClass = iota
+	// SensorDrift inflates the reading by a rate proportional to time
+	// since onset: an uncalibrated coulomb counter accumulating error
+	// in the dangerous (over-reporting) direction.
+	SensorDrift
+	// SensorSpike over-reports for a single sample: an ADC glitch.
+	SensorSpike
+	// SensorDropout answers nothing for the episode: a bus timeout.
+	SensorDropout
+	// SensorLieHigh over-reports by a fixed fraction for the episode:
+	// a mis-programmed or compromised gauge.
+	SensorLieHigh
+)
+
+// String names the class for logs and audits.
+func (c SensorFaultClass) String() string {
+	switch c {
+	case SensorStuck:
+		return "stuck"
+	case SensorDrift:
+		return "drift"
+	case SensorSpike:
+		return "spike"
+	case SensorDropout:
+		return "dropout"
+	case SensorLieHigh:
+		return "lie-high"
+	}
+	return "unknown"
+}
+
+// SensorConfig tunes the per-sample episode probabilities and shapes.
+// Probabilities are evaluated once per Corrupt call while no episode
+// is active; at most one episode runs at a time per injector.
+type SensorConfig struct {
+	// Seed feeds the injector's private RNG stream (salted, so it
+	// never correlates with write-fault streams built from the same
+	// seed).
+	Seed uint64
+	// StuckProb..LieProb are per-sample episode-start probabilities.
+	StuckProb   float64
+	DriftProb   float64
+	SpikeProb   float64
+	DropoutProb float64
+	LieProb     float64
+	// LieMagnitude is the maximum fractional over-report of a lie-high
+	// episode; each episode draws uniformly in (0, LieMagnitude].
+	// 0 selects 0.5 (a gauge lying up to 50% high).
+	LieMagnitude float64
+	// SpikeMagnitude is the maximum fractional over-report of a spike.
+	// 0 selects 0.5.
+	SpikeMagnitude float64
+	// DriftRatePerSec is the fractional over-report accumulated per
+	// second of drift. 0 selects 50 (i.e. +0.5% per 100 µs).
+	DriftRatePerSec float64
+	// EpisodeMin/EpisodeMax bound episode durations (spikes are always
+	// one sample). 0 selects 200 µs / 1 ms.
+	EpisodeMin sim.Duration
+	EpisodeMax sim.Duration
+}
+
+func (c SensorConfig) withDefaults() SensorConfig {
+	if c.LieMagnitude == 0 {
+		c.LieMagnitude = 0.5
+	}
+	if c.SpikeMagnitude == 0 {
+		c.SpikeMagnitude = 0.5
+	}
+	if c.DriftRatePerSec == 0 {
+		c.DriftRatePerSec = 50
+	}
+	if c.EpisodeMin == 0 {
+		c.EpisodeMin = 200 * sim.Microsecond
+	}
+	if c.EpisodeMax == 0 {
+		c.EpisodeMax = sim.Millisecond
+	}
+	if c.EpisodeMax < c.EpisodeMin {
+		c.EpisodeMax = c.EpisodeMin
+	}
+	return c
+}
+
+// SensorEpisode is one recorded fault episode, kept for MTTD audits.
+type SensorEpisode struct {
+	Class SensorFaultClass
+	// Start is the sample time the episode began; End is the last
+	// sample time it covered (Start for spikes).
+	Start, End sim.Time
+	// Magnitude is the fractional over-report (0 for dropouts; the
+	// rate×duration total is not precomputed for drift).
+	Magnitude float64
+}
+
+// SensorInjector corrupts one estimator's readings with seeded fault
+// episodes. It implements sensor.Corruptor. Deterministic: the episode
+// schedule is a pure function of (Seed, sequence of Corrupt calls),
+// and every call consumes a fixed number of RNG draws regardless of
+// outcome, so tuning one probability never reshuffles the others'
+// schedules.
+type SensorInjector struct {
+	cfg      SensorConfig
+	rng      *sim.RNG
+	active   *SensorEpisode
+	stuckVal float64
+	episodes []SensorEpisode
+	disabled bool
+}
+
+// NewSensorInjector builds an injector from cfg.
+func NewSensorInjector(cfg SensorConfig) *SensorInjector {
+	cfg = cfg.withDefaults()
+	return &SensorInjector{
+		cfg: cfg,
+		rng: sim.NewRNG(cfg.Seed ^ sensorStreamSalt),
+	}
+}
+
+// Disable stops new episodes and ends the active one; draws keep
+// burning so re-enabling later does not shift the schedule.
+func (si *SensorInjector) Disable() { si.disabled = true; si.endActive() }
+
+// Enable resumes episode generation.
+func (si *SensorInjector) Enable() { si.disabled = false }
+
+// Episodes returns a copy of every recorded episode, oldest first,
+// including the currently active one (its End is the last sample so
+// far).
+func (si *SensorInjector) Episodes() []SensorEpisode {
+	out := make([]SensorEpisode, 0, len(si.episodes)+1)
+	out = append(out, si.episodes...)
+	if si.active != nil {
+		out = append(out, *si.active)
+	}
+	return out
+}
+
+func (si *SensorInjector) endActive() {
+	if si.active != nil {
+		si.episodes = append(si.episodes, *si.active)
+		si.active = nil
+	}
+}
+
+// Corrupt implements sensor.Corruptor. Fixed-draw discipline: exactly
+// three draws per call — class roll, magnitude, duration — whether or
+// not an episode starts, so schedules are stable under tuning.
+func (si *SensorInjector) Corrupt(at sim.Time, truth float64) sensor.Reading {
+	// Retire an expired episode before this sample is classified.
+	if si.active != nil && at > si.active.End {
+		si.endActive()
+	}
+
+	roll := si.rng.Float64()
+	magRoll := si.rng.Float64()
+	durRoll := si.rng.Float64()
+
+	if si.active == nil && !si.disabled {
+		c := si.cfg
+		dur := c.EpisodeMin + sim.Duration(durRoll*float64(c.EpisodeMax-c.EpisodeMin))
+		switch {
+		case roll < c.StuckProb:
+			si.active = &SensorEpisode{Class: SensorStuck, Start: at, End: at.Add(dur)}
+			si.stuckVal = truth
+		case roll < c.StuckProb+c.DriftProb:
+			si.active = &SensorEpisode{Class: SensorDrift, Start: at, End: at.Add(dur), Magnitude: c.DriftRatePerSec}
+		case roll < c.StuckProb+c.DriftProb+c.SpikeProb:
+			m := magRoll * c.SpikeMagnitude
+			si.active = &SensorEpisode{Class: SensorSpike, Start: at, End: at, Magnitude: m}
+		case roll < c.StuckProb+c.DriftProb+c.SpikeProb+c.DropoutProb:
+			si.active = &SensorEpisode{Class: SensorDropout, Start: at, End: at.Add(dur)}
+		case roll < c.StuckProb+c.DriftProb+c.SpikeProb+c.DropoutProb+c.LieProb:
+			m := magRoll * c.LieMagnitude
+			si.active = &SensorEpisode{Class: SensorLieHigh, Start: at, End: at.Add(dur), Magnitude: m}
+		}
+	}
+
+	if si.active == nil {
+		return sensor.Reading{Value: truth, OK: true}
+	}
+	ep := si.active
+	switch ep.Class {
+	case SensorStuck:
+		return sensor.Reading{Value: si.stuckVal, OK: true}
+	case SensorDrift:
+		grow := 1 + ep.Magnitude*at.Sub(ep.Start).Seconds()
+		return sensor.Reading{Value: truth * grow, OK: true}
+	case SensorSpike:
+		return sensor.Reading{Value: truth * (1 + ep.Magnitude), OK: true}
+	case SensorDropout:
+		return sensor.Reading{OK: false}
+	case SensorLieHigh:
+		return sensor.Reading{Value: truth * (1 + ep.Magnitude), OK: true}
+	}
+	return sensor.Reading{Value: truth, OK: true}
+}

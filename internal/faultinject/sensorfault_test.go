@@ -1,0 +1,202 @@
+package faultinject
+
+import (
+	"testing"
+
+	"viyojit/internal/mmu"
+	"viyojit/internal/sim"
+	"viyojit/internal/ssd"
+)
+
+func sensorSamples(si *SensorInjector, n int, step sim.Duration, truth float64) []float64 {
+	out := make([]float64, 0, n)
+	for i := 1; i <= n; i++ {
+		r := si.Corrupt(sim.Time(i)*sim.Time(step), truth)
+		if !r.OK {
+			out = append(out, -1)
+			continue
+		}
+		out = append(out, r.Value)
+	}
+	return out
+}
+
+func TestSensorInjectorDeterministic(t *testing.T) {
+	cfg := SensorConfig{Seed: 0xFEED, StuckProb: 0.05, DriftProb: 0.05,
+		SpikeProb: 0.05, DropoutProb: 0.05, LieProb: 0.05}
+	a := NewSensorInjector(cfg)
+	b := NewSensorInjector(cfg)
+	sa := sensorSamples(a, 500, 100*sim.Microsecond, 80)
+	sb := sensorSamples(b, 500, 100*sim.Microsecond, 80)
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("sample %d diverged: %v vs %v", i, sa[i], sb[i])
+		}
+	}
+	ea, eb := a.Episodes(), b.Episodes()
+	if len(ea) == 0 {
+		t.Fatal("no episodes with 5% per-class probability over 500 samples")
+	}
+	if len(ea) != len(eb) {
+		t.Fatalf("episode counts diverged: %d vs %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("episode %d diverged: %+v vs %+v", i, ea[i], eb[i])
+		}
+	}
+}
+
+// TestSensorInjectorFixedDraws: tuning one class's probability must not
+// reshuffle when OTHER classes fire during idle stretches — every
+// Corrupt call burns exactly three draws whatever happens. Lie is the
+// last band in the roll order, so raising it from zero cannot move the
+// stuck band's onsets (episodes themselves exclude each other, but the
+// underlying rolls stay aligned).
+func TestSensorInjectorFixedDraws(t *testing.T) {
+	base := SensorConfig{Seed: 7, StuckProb: 0.03}
+	more := base
+	more.LieProb = 0.03
+	a := NewSensorInjector(base)
+	b := NewSensorInjector(more)
+	sensorSamples(a, 400, 100*sim.Microsecond, 80)
+	sensorSamples(b, 400, 100*sim.Microsecond, 80)
+
+	stuckStarts := func(eps []SensorEpisode) []sim.Time {
+		var out []sim.Time
+		for _, e := range eps {
+			if e.Class == SensorStuck {
+				out = append(out, e.Start)
+			}
+		}
+		return out
+	}
+	// Up to the first lie episode the two runs see identical idle/busy
+	// phases, so with aligned draw streams every stuck onset before
+	// that point must match exactly. (After a lie fires, the runs'
+	// busy windows legitimately diverge — one episode at a time — but
+	// only because of the lie itself, never because draws shifted.)
+	firstLie := sim.Time(1 << 62)
+	for _, e := range b.Episodes() {
+		if e.Class == SensorLieHigh {
+			firstLie = e.Start
+			break
+		}
+	}
+	before := func(ts []sim.Time) []sim.Time {
+		var out []sim.Time
+		for _, s := range ts {
+			if s < firstLie {
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+	sa := before(stuckStarts(a.Episodes()))
+	sb := before(stuckStarts(b.Episodes()))
+	if len(sa) != len(sb) {
+		t.Fatalf("stuck onsets before first lie diverged: %v vs %v", sa, sb)
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("stuck onset %d moved: %v vs %v — draw streams shifted", i, sa[i], sb[i])
+		}
+	}
+	if len(sa) == 0 && firstLie == sim.Time(1<<62) {
+		t.Fatal("degenerate run: no lies and no stuck onsets to compare")
+	}
+}
+
+// TestSensorStreamIndependentOfWriteFaults: the sensor injector draws
+// from its own salted RNG, so its existence (and its draws) cannot
+// shift the write-fault schedule built from the same seed — the
+// bit-identical-legacy-schedules guarantee.
+func TestSensorStreamIndependentOfWriteFaults(t *testing.T) {
+	record := func(withSensor bool) []ssd.FaultDecision {
+		inj := New(Config{Seed: 99, TransientProb: 0.1, TornProb: 0.05})
+		var si *SensorInjector
+		if withSensor {
+			si = NewSensorInjector(SensorConfig{Seed: 99, LieProb: 0.2, DropoutProb: 0.2})
+		}
+		var faults []ssd.FaultDecision
+		for i := 0; i < 300; i++ {
+			if si != nil {
+				si.Corrupt(sim.Time(i)*1000, 50) // interleave sensor draws
+			}
+			faults = append(faults, inj.WriteFault(mmu.PageID(i%64), nil))
+		}
+		return faults
+	}
+	plain := record(false)
+	mixed := record(true)
+	for i := range plain {
+		if plain[i] != mixed[i] {
+			t.Fatalf("write-fault decision %d changed when a sensor injector was added", i)
+		}
+	}
+}
+
+func TestSensorInjectorClasses(t *testing.T) {
+	const step = 100 * sim.Microsecond
+	force := func(c SensorConfig) *SensorInjector {
+		c.Seed = 5
+		return NewSensorInjector(c)
+	}
+
+	t.Run("stuck", func(t *testing.T) {
+		si := force(SensorConfig{StuckProb: 1})
+		r1 := si.Corrupt(sim.Time(step), 80)
+		r2 := si.Corrupt(sim.Time(2*step), 40) // truth halved; stuck must not follow
+		if !r1.OK || !r2.OK || r1.Value != 80 || r2.Value != 80 {
+			t.Fatalf("stuck readings %+v %+v, want frozen at 80", r1, r2)
+		}
+	})
+	t.Run("drift", func(t *testing.T) {
+		si := force(SensorConfig{DriftProb: 1, DriftRatePerSec: 100})
+		r1 := si.Corrupt(sim.Time(step), 80)
+		r2 := si.Corrupt(sim.Time(2*step), 80)
+		if r1.Value != 80 {
+			t.Fatalf("drift onset %v, want exact truth 80", r1.Value)
+		}
+		want := 80 * (1 + 100*sim.Duration(step).Seconds())
+		if r2.Value != want {
+			t.Fatalf("drift after one step %v, want %v", r2.Value, want)
+		}
+	})
+	t.Run("spike", func(t *testing.T) {
+		si := force(SensorConfig{SpikeProb: 1})
+		r1 := si.Corrupt(sim.Time(step), 80)
+		if !(r1.Value > 80) {
+			t.Fatalf("spike reading %v, want above truth", r1.Value)
+		}
+		eps := si.Episodes()
+		if len(eps) != 1 || eps[0].Start != eps[0].End {
+			t.Fatalf("spike episode %+v, want single-sample", eps)
+		}
+	})
+	t.Run("dropout", func(t *testing.T) {
+		si := force(SensorConfig{DropoutProb: 1})
+		if r := si.Corrupt(sim.Time(step), 80); r.OK {
+			t.Fatalf("dropout produced a reading: %+v", r)
+		}
+	})
+	t.Run("lie-high", func(t *testing.T) {
+		si := force(SensorConfig{LieProb: 1, LieMagnitude: 0.5})
+		r := si.Corrupt(sim.Time(step), 80)
+		if !(r.Value > 80) || r.Value > 80*1.5 {
+			t.Fatalf("lie reading %v, want in (80, 120]", r.Value)
+		}
+	})
+	t.Run("disable", func(t *testing.T) {
+		si := force(SensorConfig{LieProb: 1})
+		si.Corrupt(sim.Time(step), 80)
+		si.Disable()
+		if r := si.Corrupt(sim.Time(2*step), 80); r.Value != 80 {
+			t.Fatalf("disabled injector still corrupts: %v", r.Value)
+		}
+		si.Enable()
+		if r := si.Corrupt(sim.Time(3*step), 80); !(r.Value > 80) {
+			t.Fatalf("re-enabled injector stays silent: %v", r.Value)
+		}
+	})
+}

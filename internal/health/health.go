@@ -25,7 +25,9 @@
 package health
 
 import (
+	"errors"
 	"fmt"
+	"math"
 
 	"viyojit/internal/battery"
 	"viyojit/internal/core"
@@ -33,6 +35,21 @@ import (
 	"viyojit/internal/power"
 	"viyojit/internal/sim"
 )
+
+// ErrConfig is the sentinel every monitor configuration-validation
+// error wraps; test with errors.Is. A faulty sensor or operator input
+// must be rejected here — NaN or Inf reaching BudgetPages would poison
+// the budget math silently.
+var ErrConfig = errors.New("health: invalid config")
+
+// EnergySource is the telemetry channel the monitor derives the budget
+// from: Sample returns the usable-energy estimate in joules at virtual
+// time at. *sensor.Fused implements it; when none is configured the
+// monitor falls back to reading the battery model directly (trusting a
+// single gauge).
+type EnergySource interface {
+	Sample(at sim.Time) float64
+}
 
 // Config tunes the monitor. Zero values select the documented defaults.
 type Config struct {
@@ -76,6 +93,10 @@ type Config struct {
 	// counters and live inputs (battery energy, bandwidth estimate,
 	// derived budget) onto. nil disables the mirror.
 	Obs *obs.Registry
+	// Energy is the fault-tolerant telemetry the budget is derived
+	// from (viyojit.System passes the fused sensor). nil reads the
+	// battery model directly — a single unguarded gauge.
+	Energy EnergySource
 }
 
 func (c Config) withDefaults() Config {
@@ -111,10 +132,15 @@ func (c Config) withDefaults() Config {
 
 func (c Config) validate() error {
 	if c.Interval <= 0 {
-		return fmt.Errorf("health: interval %v must be positive", c.Interval)
+		return fmt.Errorf("%w: interval %v must be positive", ErrConfig, c.Interval)
 	}
-	if c.BandwidthDerating <= 0 || c.BandwidthDerating > 1 {
-		return fmt.Errorf("health: bandwidth derating %v outside (0,1]", c.BandwidthDerating)
+	// NaN fails every ordered comparison, so the range check below
+	// would wave it through; reject explicitly.
+	if math.IsNaN(c.BandwidthDerating) || c.BandwidthDerating <= 0 || c.BandwidthDerating > 1 {
+		return fmt.Errorf("%w: bandwidth derating %v outside (0,1]", ErrConfig, c.BandwidthDerating)
+	}
+	if c.FlushOverhead < 0 {
+		return fmt.Errorf("%w: flush overhead %v must be non-negative", ErrConfig, c.FlushOverhead)
 	}
 	return nil
 }
@@ -151,8 +177,14 @@ type Snapshot struct {
 	At sim.Time
 	// State is the ladder rung after this sample's actions.
 	State core.HealthState
-	// EffectiveJoules is the battery's usable energy at the sample.
+	// EffectiveJoules is the usable-energy estimate the budget was
+	// derived from at the sample: the fused sensor estimate when an
+	// EnergySource is configured, the raw battery model otherwise.
 	EffectiveJoules float64
+	// TrueJoules is the battery model's actual usable energy at the
+	// sample — ground truth the telemetry estimate is audited against.
+	// Equal to EffectiveJoules when no EnergySource is configured.
+	TrueJoules float64
 	// BandwidthEstimate is the derated bytes/sec used for the budget.
 	BandwidthEstimate int64
 	// MeasuredBandwidth is the raw per-IO goodput from the SSD's
@@ -184,6 +216,14 @@ type Stats struct {
 	Recoveries       uint64
 	ScrubDegrades    uint64 // Degraded entries driven by fresh scrub detections
 	ScrubEmergencies uint64 // EmergencyFlush escalations driven by quarantine growth
+	// MeasurementResets counts poisoned-measurement-window resets on
+	// the non-emergency path: the measured-scaled budget collapsed
+	// below one page while the device showed no live errors and the
+	// wear model still supported writing, so the stale window (filled
+	// by a past fault burst, possibly before the first good sample)
+	// was discarded instead of being allowed to drive a spurious
+	// emergency.
+	MeasurementResets uint64
 }
 
 // ScrubStatus is the scrubber-side signal surface the monitor samples —
@@ -220,18 +260,20 @@ type Monitor struct {
 }
 
 type instruments struct {
-	ticks            *obs.Counter
-	retunes          *obs.Counter
-	emergencyEnters  *obs.Counter
-	drainFailures    *obs.Counter
-	readOnlyFalls    *obs.Counter
-	recoveries       *obs.Counter
-	scrubDegrades    *obs.Counter
-	scrubEmergencies *obs.Counter
+	ticks             *obs.Counter
+	retunes           *obs.Counter
+	emergencyEnters   *obs.Counter
+	drainFailures     *obs.Counter
+	readOnlyFalls     *obs.Counter
+	recoveries        *obs.Counter
+	scrubDegrades     *obs.Counter
+	scrubEmergencies  *obs.Counter
+	measurementResets *obs.Counter
 
 	effectiveMillijoules *obs.Gauge
 	bandwidthEstimate    *obs.Gauge
 	derivedBudget        *obs.Gauge
+	budgetMillijoules    *obs.Gauge
 }
 
 func newInstruments(r *obs.Registry) instruments {
@@ -247,9 +289,11 @@ func newInstruments(r *obs.Registry) instruments {
 		recoveries:           r.Counter("health_recoveries_total"),
 		scrubDegrades:        r.Counter("health_scrub_degrades_total"),
 		scrubEmergencies:     r.Counter("health_scrub_emergencies_total"),
+		measurementResets:    r.Counter("health_measurement_resets_total"),
 		effectiveMillijoules: r.Gauge("battery_effective_millijoules"),
 		bandwidthEstimate:    r.Gauge("health_bandwidth_estimate_bytes"),
 		derivedBudget:        r.Gauge("health_derived_budget_pages"),
+		budgetMillijoules:    r.Gauge("health_budget_millijoules"),
 	}
 }
 
@@ -327,9 +371,20 @@ func BudgetPages(pm power.Model, effectiveJoules float64, bandwidth, dramBytes i
 	if bandwidth <= 0 || pageSize <= 0 {
 		return 0
 	}
+	// A poisoned energy input (NaN from broken sensor math, Inf from an
+	// overflowed integrator, a negative residual) must collapse to the
+	// safe answer — zero pages — not propagate: NaN in particular would
+	// sail through the ordered comparisons below (every one is false)
+	// and emerge as a garbage page count.
+	if math.IsNaN(effectiveJoules) || math.IsInf(effectiveJoules, 0) || effectiveJoules <= 0 {
+		return 0
+	}
 	watts := pm.FlushWatts(dramBytes)
+	if math.IsNaN(watts) || watts <= 0 {
+		return 0
+	}
 	seconds := effectiveJoules/watts - overhead.Seconds()
-	if seconds <= 0 {
+	if math.IsNaN(seconds) || seconds <= 0 {
 		return 0
 	}
 	// The epsilon absorbs float round-off when the energy was computed
@@ -351,7 +406,9 @@ func BudgetPages(pm power.Model, effectiveJoules float64, bandwidth, dramBytes i
 // and a single-page budget degrades to fully-synchronous redo, which is
 // slow but safe.
 func RecoveryBudget(pm power.Model, effectiveJoules, scale float64, bandwidth, dramBytes int64, pageSize int, overhead sim.Duration) int {
-	if scale <= 0 || scale > 1 {
+	// NaN scale would fail both range checks and then poison the
+	// multiply; !(scale > 0) catches it alongside the non-positives.
+	if !(scale > 0) || scale > 1 {
 		scale = 1
 	}
 	pages := int(float64(BudgetPages(pm, effectiveJoules, bandwidth, dramBytes, pageSize, overhead)) * scale)
@@ -391,13 +448,44 @@ func (m *Monitor) bandwidthEstimate() (estimate, measured int64) {
 func (m *Monitor) tick(at sim.Time) {
 	m.stats.Ticks++
 	m.st.ticks.Inc()
-	joules := m.batt.EffectiveJoules()
+	trueJoules := m.batt.EffectiveJoules()
+	joules := trueJoules
+	if m.cfg.Energy != nil {
+		// Budget from fused conservative telemetry, never a single
+		// gauge: the sensor may under-report (costing budget pages) but
+		// never over-reports beyond its configured bound, so dirty ≤
+		// budget keeps implying flush-within-true-energy even when a
+		// gauge lies.
+		joules = m.cfg.Energy.Sample(at)
+	}
 	bw, measured := m.bandwidthEstimate()
 	region := m.mgr.Region()
 	budget := BudgetPages(m.pm, joules, bw, region.Size(), region.PageSize(), m.cfg.FlushOverhead)
-	m.lastBudget = budget
-	m.st.effectiveMillijoules.Set(int64(joules * 1000))
+	m.st.effectiveMillijoules.Set(int64(trueJoules * 1000))
+	m.st.budgetMillijoules.Set(int64(joules * 1000))
 	m.st.bandwidthEstimate.Set(bw)
+
+	// Poisoned-measurement-window guard: a fault burst — possibly
+	// striking before the first good sample — can leave the window
+	// full of zero-goodput entries whose ratio drives the measured
+	// budget to 0 pages long after the device recovered. If the device
+	// shows no live errors and the wear model alone still supports at
+	// least one page, the window is stale evidence: discard it (the
+	// same ResetMeasurement pattern the emergency-recovery gate uses)
+	// and derive this tick's budget from the wear model, instead of
+	// letting a dead window drive a spurious emergency. Only on the
+	// lower rungs — the emergency path has its own wear-model gate.
+	if hs := m.mgr.HealthState(); budget < 1 && measured > 0 && m.mgr.ErrorStreak() == 0 &&
+		(hs == core.StateHealthy || hs == core.StateDegraded) {
+		wearBW := int64(float64(m.mgr.SSD().EffectiveWriteBandwidth()) * m.cfg.BandwidthDerating)
+		if wearBudget := BudgetPages(m.pm, joules, wearBW, region.Size(), region.PageSize(), m.cfg.FlushOverhead); wearBudget >= 1 {
+			m.mgr.SSD().ResetMeasurement()
+			m.stats.MeasurementResets++
+			m.st.measurementResets.Inc()
+			budget, bw = wearBudget, wearBW
+		}
+	}
+	m.lastBudget = budget
 	m.st.derivedBudget.Set(int64(budget))
 
 	// Sample the scrub signal every tick so the fresh-detection delta
@@ -498,6 +586,7 @@ func (m *Monitor) tick(at sim.Time) {
 		At:                at,
 		State:             m.mgr.HealthState(),
 		EffectiveJoules:   joules,
+		TrueJoules:        trueJoules,
 		BandwidthEstimate: bw,
 		MeasuredBandwidth: measured,
 		WearCycles:        m.mgr.SSD().WearCycles(),

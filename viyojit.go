@@ -33,6 +33,7 @@ import (
 
 	"viyojit/internal/battery"
 	"viyojit/internal/core"
+	"viyojit/internal/faultinject"
 	"viyojit/internal/health"
 	"viyojit/internal/intent"
 	"viyojit/internal/kvstore"
@@ -42,6 +43,7 @@ import (
 	"viyojit/internal/power"
 	"viyojit/internal/recovery"
 	"viyojit/internal/scrub"
+	"viyojit/internal/sensor"
 	"viyojit/internal/serve"
 	"viyojit/internal/sim"
 	"viyojit/internal/ssd"
@@ -75,6 +77,12 @@ type (
 	HealthState = core.HealthState
 	// ScrubConfig tunes the background integrity scrubber.
 	ScrubConfig = scrub.Config
+	// SensorConfig tunes the fault-tolerant energy-telemetry fusion
+	// the dirty budget is derived from (see internal/sensor).
+	SensorConfig = sensor.Config
+	// SensorFaultConfig tunes seeded gauge-fault injection
+	// (faultinject.SensorInjector) for telemetry chaos testing.
+	SensorFaultConfig = faultinject.SensorConfig
 	// ScrubStats are the scrubber's counters.
 	ScrubStats = scrub.Stats
 	// QuarantinedPage is one corrupt durable page with no repair path.
@@ -250,6 +258,19 @@ type Config struct {
 	// DisableScrubber turns the background scan off. The scrubber still
 	// exists for on-demand System.Scrub calls.
 	DisableScrubber bool
+	// Sensor tunes the fault-tolerant energy-telemetry layer: two
+	// redundant battery estimators (coulomb counter + voltage-curve
+	// SoC) fused with plausibility gating, staleness watchdog, and
+	// conservative-lower-bound disagreement handling. The health
+	// monitor and recovery budgeting consume the fused estimate, never
+	// a single raw gauge. Zero values select the sensor's defaults,
+	// with StaleAfter derived from the monitor interval. With healthy
+	// gauges the fused estimate equals the battery model exactly, so
+	// enabling the layer is numerically neutral.
+	Sensor SensorConfig
+	// DisableSensor reverts the budget chain to reading the raw
+	// battery gauge directly (trusting a single gauge).
+	DisableSensor bool
 }
 
 // fixedFlushOverhead is the flush-time allowance reserved when deriving
@@ -272,6 +293,7 @@ type System struct {
 	pm       power.Model
 	manager  *core.Manager
 	monitor  *health.Monitor
+	fused    *sensor.Fused
 	scrubber *scrub.Scrubber
 	server   *serve.Server
 	reg      *obs.Registry
@@ -387,6 +409,31 @@ func New(cfg Config) (*System, error) {
 		_ = mgr.SetDirtyBudget(pages)
 	})
 
+	// The fused telemetry layer sits between the battery model and
+	// every budget consumer. Both estimators read the same simulated
+	// battery (exactly, until a fault injector corrupts one), gated
+	// against the nameplate as the physical bound, so a healthy sensor
+	// is numerically identical to reading the battery directly.
+	var fused *sensor.Fused
+	if !cfg.DisableSensor {
+		scfg := cfg.Sensor
+		if scfg.Obs == nil {
+			scfg.Obs = reg
+		}
+		if scfg.StaleAfter == 0 && cfg.Health.Interval != 0 {
+			// The watchdog must outlast a few sampling periods or every
+			// monitor tick would declare the gauges stale.
+			scfg.StaleAfter = cfg.Health.Interval * 5 / 2
+		}
+		fused, err = sensor.New(scfg, batt.NameplateJoules,
+			sensor.NewCoulombCounter("coulomb", batt.EffectiveJoules),
+			sensor.NewVoltageSoC("voltage", batt.EffectiveJoules, 0))
+		if err != nil {
+			return nil, err
+		}
+		fused.Sample(clock.Now())
+	}
+
 	var mon *health.Monitor
 	if !cfg.DisableHealthMonitor {
 		hcfg := cfg.Health
@@ -398,6 +445,9 @@ func New(cfg Config) (*System, error) {
 		}
 		if hcfg.Obs == nil {
 			hcfg.Obs = reg
+		}
+		if hcfg.Energy == nil && fused != nil {
+			hcfg.Energy = fused
 		}
 		mon, err = health.NewMonitor(events, clock, batt, mgr, cfg.Power, hcfg)
 		if err != nil {
@@ -429,6 +479,7 @@ func New(cfg Config) (*System, error) {
 		pm:       cfg.Power,
 		manager:  mgr,
 		monitor:  mon,
+		fused:    fused,
 		scrubber: scr,
 		reg:      reg,
 		cfg:      cfg,
@@ -512,6 +563,14 @@ func (s *System) Degraded() bool { return s.manager.Degraded() }
 // Health returns the runtime health monitor (nil when
 // Config.DisableHealthMonitor was set).
 func (s *System) Health() *health.Monitor { return s.monitor }
+
+// Sensor returns the fused energy-telemetry layer the budget is
+// derived from (nil when Config.DisableSensor was set). Fault
+// injectors attach to its estimators:
+//
+//	inj := faultinject.NewSensorInjector(faultinject.SensorConfig{Seed: 1, LieProb: 0.01})
+//	sys.Sensor().Estimator(1).SetCorruptor(inj)
+func (s *System) Sensor() *sensor.Fused { return s.fused }
 
 // HealthState returns the manager's rung on the degradation ladder.
 func (s *System) HealthState() HealthState { return s.manager.HealthState() }
@@ -807,7 +866,14 @@ func (s *System) RecoverWith(opts RecoverOptions) (*System, recovery.RestoreRepo
 	// Sample the surviving battery BEFORE quiescing: this charge — not
 	// the fresh system's nameplate figure — is what bounds the dirty
 	// set the recovered run can afford until the battery recharges.
+	// The sample goes through the fused sensor when one is attached:
+	// recovery after an outage is exactly when a sagging pack makes
+	// gauges least trustworthy, so the replay budget must come from
+	// the conservative fusion, not a single possibly-lying gauge.
 	effective := s.batt.EffectiveJoules()
+	if s.fused != nil {
+		effective = s.fused.Sample(s.clock.Now())
+	}
 	s.closeLocked()
 
 	ns, err := New(s.cfg)
