@@ -400,26 +400,48 @@ func BenchmarkServeThroughput(b *testing.B) {
 // begin/finish) — in host ns/op. The guard: zero B/op, zero allocs/op;
 // TestObsRecordPathZeroAlloc enforces the same bound as a plain test so
 // a regression fails `go test` without anyone reading benchmark output.
+//
+// The bare variant is the registry alone; the blackbox-sink variant is
+// the same record set with the flight recorder teed onto every
+// instrument — the marginal price of always-on crash forensics on the
+// hot path, and its zero-alloc guard (the recorder encodes into a
+// recorder-owned buffer; TestAppendZeroAlloc in internal/blackbox
+// enforces the same bound as a plain test).
 func BenchmarkObsHotPath(b *testing.B) {
-	sys, err := New(Config{NVDRAMSize: 8 << 20})
-	if err != nil {
-		b.Fatal(err)
+	run := func(b *testing.B, cfg Config) {
+		sys, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer sys.Close()
+		reg := sys.Metrics()
+		c := reg.Counter("bench_requests_total")
+		// A ruled gauge: when the recorder is teed in, every change is a
+		// full ring append — the expensive edge of the tee. The counter,
+		// histogram, and span stay rule-misses, pricing the lookup.
+		g := reg.Gauge("health_derived_budget_pages")
+		h := reg.Histogram("bench_latency_ns")
+		tr := reg.Tracer()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+			g.Set(int64(i&63) + 1)
+			h.Record(sim.Duration(1000 + i&1023))
+			sp := tr.Begin("bench.request", sim.Time(i))
+			tr.Finish(sp, sim.Time(i+1), "ok")
+		}
+		b.StopTimer()
+		if rec := sys.BlackBox(); rec != nil && rec.LastSeq() < uint64(b.N/2) {
+			b.Fatalf("recorder appended %d of %d ruled gauge changes; the tee is not measuring the append path", rec.LastSeq(), b.N)
+		}
 	}
-	defer sys.Close()
-	reg := sys.Metrics()
-	c := reg.Counter("bench_requests_total")
-	g := reg.Gauge("bench_queue_depth")
-	h := reg.Histogram("bench_latency_ns")
-	tr := reg.Tracer()
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		c.Inc()
-		g.Set(int64(i & 63))
-		h.Record(sim.Duration(1000 + i&1023))
-		sp := tr.Begin("bench.request", sim.Time(i))
-		tr.Finish(sp, sim.Time(i+1), "ok")
-	}
+	b.Run("bare", func(b *testing.B) {
+		run(b, Config{NVDRAMSize: 8 << 20})
+	})
+	b.Run("blackbox-sink", func(b *testing.B) {
+		run(b, Config{NVDRAMSize: 8 << 20, BlackBox: true})
+	})
 }
 
 // TestObsRecordPathZeroAlloc asserts the instruments the serve dispatch

@@ -1,0 +1,123 @@
+// Command blackbox is the flight-recorder dump tool: it walks a raw
+// black-box ring image into the post-failure forensic report — the
+// crash-instant dirty/budget/ladder snapshot and the event timeline.
+//
+// Two modes:
+//
+//	-in FILE: walk a saved ring image (the bytes an operator pulled off
+//	  the battery-backed region, e.g. via System.BlackBoxImage) and
+//	  print the forensic report. The walk is torn-tail tolerant: a
+//	  truncated or corrupted image yields the longest valid record
+//	  prefix, never a panic or an invented record.
+//
+//	default (no -in): demo — run a write workload with the recorder
+//	  armed, pull the plug mid-flight, recover, and print the forensic
+//	  report the reboot adopted from the crash ring. -out FILE saves
+//	  the crash-instant ring image so the -in path has something real
+//	  to chew on.
+//
+// Usage:
+//
+//	blackbox [-in FILE] [-out FILE] [-n N] [-size BYTES] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"viyojit"
+	"viyojit/internal/blackbox"
+	"viyojit/internal/sim"
+)
+
+func main() {
+	in := flag.String("in", "", "walk this raw ring image instead of running the demo")
+	out := flag.String("out", "", "demo mode: save the crash-instant ring image to this file")
+	n := flag.Int("n", 30, "timeline length to print (0 = all)")
+	size := flag.Int64("size", 8<<20, "demo mode: NV-DRAM size in bytes")
+	seed := flag.Uint64("seed", 1, "demo mode: workload seed")
+	flag.Parse()
+
+	if *in != "" {
+		dumpImage(*in, *n)
+		return
+	}
+	demo(*size, *seed, *out, *n)
+}
+
+// dumpImage walks a saved ring image and prints its forensic report.
+func dumpImage(path string, n int) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	w := blackbox.Walk(data)
+	fmt.Printf("%s: %d bytes, %d slots\n", path, len(data), uint64(len(data))/blackbox.SlotBytes)
+	rep := blackbox.BuildReport(w)
+	if err := rep.WriteText(os.Stdout, n); err != nil {
+		fatal(err)
+	}
+	if len(w.Records) == 0 {
+		fmt.Println("no intact records: empty ring, or an image too damaged to adopt anything")
+	}
+}
+
+// demo runs a workload into a power failure and prints the forensic
+// report the recovered system adopts from the crash ring.
+func demo(size int64, seed uint64, out string, n int) {
+	sys, err := viyojit.New(viyojit.Config{NVDRAMSize: size, BlackBox: true})
+	if err != nil {
+		fatal(err)
+	}
+	m, err := sys.Map("demo-heap", size/2)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("recorder armed: %d-record ring, budget %d pages\n",
+		sys.BlackBox().Slots(), sys.DirtyBudget())
+
+	rng := sim.NewRNG(seed)
+	pages := size / 2 / 4096
+	for i := 0; i < int(2*pages); i++ {
+		p := rng.Int63n(pages)
+		if err := m.WriteAt([]byte{byte(p)}, p*4096); err != nil {
+			fatal(err)
+		}
+		sys.Pump()
+	}
+	sys.BlackBox().Mark(1, int64(sys.DirtyCount()), 0)
+
+	res := sys.SimulatePowerFailure()
+	fmt.Printf("power failed at t=%v: flushed %d pages, survived=%v\n",
+		sim.Duration(sys.Now()), res.PagesFlushed, res.Survived)
+
+	if out != "" {
+		img, err := sys.BlackBoxImage()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(out, img, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("crash ring image saved to %s (%d bytes) — replay with -in %s\n", out, len(img), out)
+	}
+
+	recovered, _, err := sys.Recover()
+	if err != nil {
+		fatal(err)
+	}
+	rep := recovered.Forensics()
+	if rep == nil {
+		fatal(fmt.Errorf("recovery adopted no forensic report"))
+	}
+	fmt.Println("\nforensic report adopted by the reboot:")
+	if err := rep.WriteText(os.Stdout, n); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "blackbox:", err)
+	os.Exit(1)
+}

@@ -19,10 +19,16 @@
 //	  model's ground truth at every monitor sample — the fused column
 //	  may dip below truth (conservative) but never above it.
 //
+// The -blackbox flag (trajectory mode) arms the black-box flight
+// recorder alongside the monitor and prints the live forensic report
+// after the snapshot table: the same aging trajectory the table shows,
+// read back out of the battery-backed ring — what a post-mortem would
+// see had the run ended in a power failure.
+//
 // Usage:
 //
 //	health-sim [-size BYTES] [-seed S] [-mode trajectory|drain|sensor]
-//	           [-age-frac F] [-age-steps N]
+//	           [-age-frac F] [-age-steps N] [-blackbox]
 //	           [-gauge-lie P] [-gauge-stuck P] [-gauge-drift P]
 package main
 
@@ -46,11 +52,12 @@ func main() {
 	gaugeLie := flag.Float64("gauge-lie", 0, "voltage-gauge lie-high episode probability per sample for -mode sensor (all-zero gauge flags = default menu)")
 	gaugeStuck := flag.Float64("gauge-stuck", 0, "voltage-gauge stuck episode probability per sample for -mode sensor")
 	gaugeDrift := flag.Float64("gauge-drift", 0, "voltage-gauge upward-drift episode probability per sample for -mode sensor")
+	blackBox := flag.Bool("blackbox", false, "arm the black-box flight recorder and print the live forensic report (trajectory mode)")
 	flag.Parse()
 
 	switch *mode {
 	case "trajectory":
-		trajectory(*size, *seed, *ageFrac, *ageSteps)
+		trajectory(*size, *seed, *ageFrac, *ageSteps, *blackBox)
 	case "drain":
 		drainLatency(*size, *seed)
 	case "sensor":
@@ -64,12 +71,13 @@ func main() {
 // while the battery loses ageFrac of its capacity every 10 ms, and
 // prints the monitor's view: effective joules, bandwidth estimate, and
 // the budget the monitor pushed.
-func trajectory(size int64, seed uint64, ageFrac float64, ageSteps int) {
+func trajectory(size int64, seed uint64, ageFrac float64, ageSteps int, blackBox bool) {
 	sys, err := viyojit.New(viyojit.Config{
 		NVDRAMSize: size,
 		// Wear modelling on: the workload's clean traffic accrues
 		// full-capacity write passes against 4× the region.
-		SSD: viyojit.SSDConfig{WearCapacityBytes: 4 * size},
+		SSD:      viyojit.SSDConfig{WearCapacityBytes: 4 * size},
+		BlackBox: blackBox,
 	})
 	if err != nil {
 		fatal(err)
@@ -118,6 +126,17 @@ func trajectory(size int64, seed uint64, ageFrac float64, ageSteps int) {
 	fmt.Printf("final budget %d pages from %.2f J effective (%.0f%% of nameplate at install)\n",
 		sys.DirtyBudget(), sys.Battery().EffectiveJoules(),
 		100*sys.Battery().EffectiveJoules()/(sys.Battery().EffectiveJoules()/pow(1-ageFrac, ageSteps)))
+
+	if blackBox {
+		rep, err := sys.BlackBoxReport()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("\nlive forensic report from the battery-backed flight recorder:")
+		if err := rep.WriteText(os.Stdout, 15); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 func pow(x float64, n int) float64 {

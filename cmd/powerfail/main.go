@@ -28,6 +28,19 @@
 // persistent recovery cursor must resume, never regress, and the same
 // exactly-once oracle must hold once recovery finally completes.
 //
+// The -forensics flag arms the black-box flight recorder: a small
+// checksummed ring of event records in battery-backed pages, charged
+// against the same dirty budget as the heap. After the reboot the
+// recovered system prints the forensic report walked out of the ring —
+// the crash-instant dirty/budget/ladder snapshot and the event
+// timeline — i.e. the machine explains its own failure.
+//
+// The -blackbox-sweep mode runs the flight-recorder crash sweep: the
+// live-traffic exactly-once sweep with a recorder riding in every run,
+// each recovered forensic report audited against the crash-instant
+// oracle, plus the recorder-on vs recorder-off healthy overhead
+// measurement.
+//
 // The -sensor-sweep mode attacks the energy telemetry instead of the
 // storage: the dirty budget is derived from the fused two-gauge sensor
 // while seeded injectors corrupt the gauges (the voltage gauge lying up
@@ -40,11 +53,12 @@
 //
 // Usage:
 //
-//	powerfail [-size BYTES] [-seed S]
+//	powerfail [-size BYTES] [-seed S] [-forensics]
 //	          [-write-error-prob P] [-torn-prob P] [-spike-prob P] [-max-faults N]
 //	          [-lost-prob P] [-misdirect-prob P] [-rot-prob P]
 //	          [-scrub-share F] [-no-scrub]
 //	          [-sag FRACTION] [-crash-step N]
+//	powerfail -blackbox-sweep [-serve-points N] [-serve-clients N] [-seed S]
 //	powerfail -serve-sweep [-serve-points N] [-serve-clients N] [-seed S]
 //	powerfail -nested-sweep [-serve-points N] [-serve-clients N] [-seed S]
 //	          [-recrash-depth N] [-recovery-budget-scale F]
@@ -91,7 +105,14 @@ func main() {
 	gaugeStuck := flag.Float64("gauge-stuck", 0, "voltage-gauge stuck episode probability per sample for -sensor-sweep")
 	gaugeDrift := flag.Float64("gauge-drift", 0, "voltage-gauge upward-drift episode probability per sample for -sensor-sweep")
 	gaugeLieMax := flag.Float64("gauge-lie-max", 0, "max fractional over-report of a lie-high episode for -sensor-sweep (0 = 0.5)")
+	forensics := flag.Bool("forensics", false, "arm the black-box flight recorder and print the recovered forensic report after the reboot")
+	bbSweep := flag.Bool("blackbox-sweep", false, "run the flight-recorder crash sweep: forensic reports audited against the crash-instant oracle")
 	flag.Parse()
+
+	if *bbSweep {
+		runBlackBoxSweep(*seed, *servePoints, *serveClients)
+		return
+	}
 
 	if *sensorSweep {
 		runSensorSweep(*seed, *servePoints, *serveClients, *gaugeLie, *gaugeStuck, *gaugeDrift, *gaugeLieMax)
@@ -110,9 +131,14 @@ func main() {
 		NVDRAMSize:      *size,
 		Scrub:           viyojit.ScrubConfig{BandwidthShare: *scrubShare},
 		DisableScrubber: *noScrub,
+		BlackBox:        *forensics,
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if *forensics {
+		fmt.Printf("black-box flight recorder armed: %d-record ring in battery-backed pages, inside the dirty budget\n",
+			sys.BlackBox().Slots())
 	}
 	fmt.Printf("NV-DRAM: %d MiB, dirty budget: %d pages (%.1f%% of the region)\n",
 		*size>>20, sys.DirtyBudget(), float64(sys.DirtyBudget())*4096*100/float64(*size))
@@ -284,6 +310,48 @@ func main() {
 		fatal(err)
 	}
 	fmt.Println("recovered heap readable at DRAM latency — cache starts warm")
+
+	if *forensics {
+		rep := recovered.Forensics()
+		if rep == nil {
+			fatal(fmt.Errorf("forensics armed but no report recovered"))
+		}
+		fmt.Println("\n*** forensic report from the battery-backed flight recorder ***")
+		if err := rep.WriteText(os.Stdout, 20); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// runBlackBoxSweep narrates the flight-recorder crash sweep.
+func runBlackBoxSweep(seed uint64, points, clients int) {
+	fmt.Printf("flight-recorder crash sweep: %d crash points, %d retrying clients, seed %#x\n",
+		points, clients, seed)
+	res, err := crashsweep.RunBlackBox(crashsweep.ServeConfig{
+		Seed:           seed,
+		Clients:        clients,
+		MaxCrashPoints: points,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	sw := res.Serve
+	fmt.Printf("baseline %d events, stride %d; %d runs crashed mid-traffic, %d ran past their step\n",
+		sw.BaselineEvents, sw.Stride, sw.CrashPoints, sw.Completed)
+	fmt.Printf("forensic audits: %d exact oracle matches, %d relaxed to the sequence bound by shed appends\n",
+		sw.ForensicExact, sw.ForensicDropped)
+	fmt.Printf("recorder pages dirty at %d of %d crash instants; %d ring appends across crashed runs, %d shed\n",
+		sw.RecorderDirtyCrashes, sw.CrashPoints, sw.RecorderAppends, sw.RecorderDrops)
+	fmt.Printf("healthy overhead: %d acked in %v (recorder off) vs %d acked in %v (on) — goodput delta %.2f%%\n",
+		res.HealthyOffAcked, sim.Duration(res.HealthyOffNs),
+		res.HealthyOnAcked, sim.Duration(res.HealthyOnNs), res.GoodputDeltaFrac*100)
+	if len(sw.Violations) > 0 {
+		for _, v := range sw.Violations {
+			fmt.Fprintf(os.Stderr, "VIOLATION step %d: %s\n", v.Step, v.Msg)
+		}
+		fatal(fmt.Errorf("%d forensic violations", len(sw.Violations)))
+	}
+	fmt.Println("every recovered report matched its crash-instant oracle within the audit bounds")
 }
 
 // runServeSweep narrates the live-traffic exactly-once crash sweep:

@@ -1,0 +1,212 @@
+package blackbox
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"viyojit/internal/sim"
+)
+
+// WalkResult is what a raw ring image yields: every intact record, in
+// sequence order, plus the damage accounting.
+type WalkResult struct {
+	// Records holds the adopted records in ascending sequence order.
+	// Honest rings yield a consecutive run (minus slots destroyed by a
+	// torn write); Walk never invents, reorders, or duplicates.
+	Records []Record
+	// LastSeq is the newest adopted sequence number (0 for an empty or
+	// unreadable ring).
+	LastSeq uint64
+	// Torn counts slots that held bytes but failed validation — a torn
+	// tail write, or corruption.
+	Torn int
+	// Dropped is the recorder's cumulative shed count as of the newest
+	// record: the number of events that are known gaps, not losses the
+	// walk silently absorbed.
+	Dropped uint32
+}
+
+// Walk scans a raw ring image and adopts every intact record: checksum
+// valid, nonzero sequence, and sequence bound to the slot it sits in
+// ((seq-1) mod nslots). A torn tail — the write that was in flight when
+// power failed — fails its checksum and is dropped; the slot's previous
+// occupant is gone too, so the adopted run may have at most that one
+// hole near the tail. Walk never panics on arbitrary bytes and never
+// yields a record it did not fully validate. Trailing bytes that do not
+// fill a slot are ignored.
+func Walk(data []byte) WalkResult {
+	var w WalkResult
+	nslots := uint64(len(data)) / SlotBytes
+	if nslots == 0 {
+		return w
+	}
+	for slot := uint64(0); slot < nslots; slot++ {
+		b := data[slot*SlotBytes : (slot+1)*SlotBytes]
+		rec, ok := decodeRecord(b)
+		if !ok {
+			if !allZero(b) {
+				w.Torn++
+			}
+			continue
+		}
+		if (rec.Seq-1)%nslots != slot {
+			// A record can only live in the slot its sequence names;
+			// anything else is corruption wearing a valid checksum.
+			w.Torn++
+			continue
+		}
+		w.Records = append(w.Records, rec)
+	}
+	sort.Slice(w.Records, func(i, j int) bool { return w.Records[i].Seq < w.Records[j].Seq })
+	if n := len(w.Records); n > 0 {
+		newest := w.Records[n-1]
+		w.LastSeq = newest.Seq
+		w.Dropped = newest.Drops
+	}
+	return w
+}
+
+func allZero(b []byte) bool {
+	for _, c := range b {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ReadAndWalk pulls the full ring image out of a store and walks it.
+func ReadAndWalk(store Store) (WalkResult, error) {
+	if store == nil {
+		return WalkResult{}, fmt.Errorf("blackbox: nil store")
+	}
+	data := make([]byte, store.Size())
+	if err := store.ReadAt(data, 0); err != nil {
+		return WalkResult{}, fmt.Errorf("blackbox: reading ring: %w", err)
+	}
+	return Walk(data), nil
+}
+
+// Point is one step of a reconstructed trajectory.
+type Point struct {
+	At    sim.Time
+	Value int64
+}
+
+// Report is the post-failure forensic reconstruction: what the system
+// said about itself, read back out of the battery-backed ring.
+type Report struct {
+	Walk WalkResult
+
+	// CrashAt is the virtual time of the newest record — the last thing
+	// the system managed to say (the crash instant, to within one
+	// record).
+	CrashAt sim.Time
+
+	// Dirty and Budget are the recorded trajectories of the dirty-page
+	// count and the effective dirty budget over the ring's window.
+	Dirty  []Point
+	Budget []Point
+
+	// CrashDirty, CrashBudget, and FinalLadder are the last recorded
+	// values of each — the crash-instant snapshot. -1 means the ring's
+	// window holds no record of that series AND the history is
+	// incomplete (the boot record aged out), so the value is unknowable.
+	// When the boot record is still in the window the history is
+	// complete since arming, and a series with no record simply never
+	// left its initial value: dirty 0, ladder healthy (0), budget as the
+	// boot record carries it.
+	CrashDirty  int64
+	CrashBudget int64
+	FinalLadder int64
+
+	// Complete reports that the walk still contains the boot record, so
+	// the trajectories cover the system's whole life, not a window.
+	Complete bool
+}
+
+// BuildReport reconstructs the forensic view from a walked ring.
+func BuildReport(w WalkResult) Report {
+	r := Report{Walk: w, CrashDirty: -1, CrashBudget: -1, FinalLadder: -1}
+	for _, rec := range w.Records {
+		switch rec.Kind {
+		case KindDirty:
+			r.Dirty = append(r.Dirty, Point{At: rec.At, Value: rec.Args[0]})
+			r.CrashDirty = rec.Args[0]
+		case KindBudget:
+			r.Budget = append(r.Budget, Point{At: rec.At, Value: rec.Args[0]})
+			r.CrashBudget = rec.Args[0]
+		case KindLadder:
+			r.FinalLadder = int64(rec.Code)
+		case KindBoot:
+			// Complete history: series with no later record are still at
+			// their boot values. arg1 carries the budget the system
+			// booted with; dirty is 0 and the ladder healthy at arming.
+			r.Complete = true
+			if r.CrashBudget == -1 && rec.Args[1] > 0 {
+				r.CrashBudget = rec.Args[1]
+			}
+			if r.CrashDirty == -1 {
+				r.CrashDirty = 0
+			}
+			if r.FinalLadder == -1 {
+				r.FinalLadder = 0
+			}
+		}
+		if rec.At > r.CrashAt {
+			r.CrashAt = rec.At
+		}
+	}
+	return r
+}
+
+// Timeline returns the last n records (all of them if n <= 0 or the
+// window is smaller).
+func (r Report) Timeline(n int) []Record {
+	recs := r.Walk.Records
+	if n > 0 && len(recs) > n {
+		recs = recs[len(recs)-n:]
+	}
+	return recs
+}
+
+// WriteText renders the report: a summary header, the crash-instant
+// snapshot, and the timeline of the last n events (everything if n<=0).
+func (r Report) WriteText(w io.Writer, n int) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "blackbox: %d records adopted, last seq %d, %d torn slots, %d dropped appends\n",
+		len(r.Walk.Records), r.Walk.LastSeq, r.Walk.Torn, r.Walk.Dropped)
+	fmt.Fprintf(bw, "crash instant: t=%v dirty=%s budget=%s ladder=%s\n",
+		sim.Duration(r.CrashAt), fmtVal(r.CrashDirty), fmtVal(r.CrashBudget), fmtLadder(r.FinalLadder))
+	tl := r.Timeline(n)
+	fmt.Fprintf(bw, "timeline (%d events):\n", len(tl))
+	for _, rec := range tl {
+		code := CodeString(rec.Kind, rec.Code)
+		if code != "" {
+			code = "/" + code
+		}
+		fmt.Fprintf(bw, "  seq=%-6d t=%-12v %s%s args=[%d %d %d %d] drops=%d\n",
+			rec.Seq, sim.Duration(rec.At), KindString(rec.Kind), code,
+			rec.Args[0], rec.Args[1], rec.Args[2], rec.Args[3], rec.Drops)
+	}
+	return bw.Flush()
+}
+
+func fmtVal(v int64) string {
+	if v < 0 {
+		return "?"
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+func fmtLadder(v int64) string {
+	if v < 0 {
+		return "?"
+	}
+	if s := CodeString(KindLadder, uint16(v)); s != "" {
+		return s
+	}
+	return fmt.Sprintf("%d", v)
+}

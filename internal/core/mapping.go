@@ -58,6 +58,43 @@ func (mp *Mapping) ReadAt(p []byte, off int64) error {
 	return mp.mgr.region.ReadAt(p, mp.base+off)
 }
 
+// TelemetryWritable reports whether a write to [off, off+n) of the
+// mapping could proceed right now without blocking: no page in the
+// range is mid-clean (a write would stall on the in-flight IO), writes
+// are not ladder-blocked, and admitting the range's not-yet-dirty pages
+// stays within the effective dirty budget (so the fault path would not
+// force a synchronous clean). This is the admission gate for the
+// black-box flight recorder, which must degrade to sampling rather
+// than ever stall the goroutine feeding it. Like the rest of the
+// manager's bookkeeping it must be called from the simulation
+// goroutine.
+func (mp *Mapping) TelemetryWritable(off, n int64) bool {
+	if mp == nil || !mp.live || off < 0 || n <= 0 || off+n > mp.size {
+		return false
+	}
+	m := mp.mgr
+	ps := int64(m.region.PageSize())
+	first := mmu.PageID((mp.base + off) / ps)
+	last := mmu.PageID((mp.base + off + n - 1) / ps)
+	need := 0
+	for p := first; p <= last; p++ {
+		if dp, ok := m.dirty[p]; ok {
+			if dp.cleaning {
+				return false
+			}
+			continue // already dirty: writing costs nothing
+		}
+		need++
+	}
+	if need == 0 {
+		return true
+	}
+	if m.writesBlocked() {
+		return false
+	}
+	return len(m.dirty)+need <= m.effectiveBudget()
+}
+
 // pageRange returns the half-open page range [first, last) the mapping
 // occupies.
 func (mp *Mapping) pageRange() (mmu.PageID, mmu.PageID) {

@@ -1,0 +1,119 @@
+package crashsweep
+
+import (
+	"os"
+	"strconv"
+	"testing"
+)
+
+func logBlackBox(t *testing.T, res BlackBoxResult) {
+	t.Helper()
+	sw := res.Serve
+	t.Logf("%d crash points, %d completed; forensic exact %d, drop-relaxed %d; recorder dirty at %d crashes; %d ring appends, %d shed",
+		sw.CrashPoints, sw.Completed, sw.ForensicExact, sw.ForensicDropped,
+		sw.RecorderDirtyCrashes, sw.RecorderAppends, sw.RecorderDrops)
+	t.Logf("healthy: off %d ns / %d acked, on %d ns / %d acked, goodput delta %.4f (%d ring appends, %d shed)",
+		res.HealthyOffNs, res.HealthyOffAcked, res.HealthyOnNs, res.HealthyOnAcked,
+		res.GoodputDeltaFrac, res.HealthyRecorderAppends, res.HealthyRecorderDrops)
+}
+
+// The acceptance sweep: 200 power failures under concurrent YCSB-A
+// serving, every one recovering a forensic report audited against the
+// crash-instant oracle, the recorder's pages audited inside the dirty
+// budget, and the healthy-run overhead of the always-on recorder
+// bounded under 2% of goodput.
+func TestSweepBlackBox(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full blackbox crash sweep is slow; run without -short")
+	}
+	res, err := RunBlackBox(ServeConfig{Seed: 0xB1AC_B0C5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logBlackBox(t, res)
+	for _, v := range res.Serve.Violations {
+		t.Errorf("step %d: %s", v.Step, v.Msg)
+	}
+	if res.Serve.CrashPoints < 200 {
+		t.Errorf("only %d crash points, want ≥ 200", res.Serve.CrashPoints)
+	}
+	// Every crashed run with a drop-free ring must have audited exactly;
+	// together the two buckets must cover every crash point.
+	if got := res.Serve.ForensicExact + res.Serve.ForensicDropped; got != res.Serve.CrashPoints {
+		t.Errorf("forensic audits cover %d of %d crash points", got, res.Serve.CrashPoints)
+	}
+	// Evidence the audits bit on real state, not vacuous rings.
+	if res.Serve.ForensicExact == 0 {
+		t.Error("no crash ever audited an exact forensic match; the oracle comparison went untested")
+	}
+	if res.Serve.RecorderDirtyCrashes == 0 {
+		t.Error("no crash ever found a dirty recorder page; budget accounting of the ring went unwitnessed")
+	}
+	if res.Serve.RecorderAppends == 0 {
+		t.Error("the recorder never appended during crashed runs")
+	}
+	// The overhead bound: always-on forensics costs < 2% of goodput.
+	if res.HealthyOnAcked != res.HealthyOffAcked {
+		t.Errorf("healthy runs did different work: %d vs %d acked", res.HealthyOnAcked, res.HealthyOffAcked)
+	}
+	if res.GoodputDeltaFrac >= 0.02 {
+		t.Errorf("recorder-on goodput delta %.4f, want < 0.02", res.GoodputDeltaFrac)
+	}
+	if res.HealthyRecorderAppends == 0 {
+		t.Error("healthy recorder-on run appended nothing; the overhead measurement is vacuous")
+	}
+}
+
+// A small always-on sweep so the forensic audit machinery runs on every
+// `go test ./...`, -short included.
+func TestSweepBlackBoxQuick(t *testing.T) {
+	res, err := RunBlackBox(ServeConfig{
+		Seed:           0xB1AC,
+		Clients:        8,
+		OpsPerClient:   12,
+		MaxCrashPoints: 25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logBlackBox(t, res)
+	for _, v := range res.Serve.Violations {
+		t.Errorf("step %d: %s", v.Step, v.Msg)
+	}
+	if res.Serve.CrashPoints < 25 {
+		t.Errorf("only %d crash points, want ≥ 25", res.Serve.CrashPoints)
+	}
+	if got := res.Serve.ForensicExact + res.Serve.ForensicDropped; got != res.Serve.CrashPoints {
+		t.Errorf("forensic audits cover %d of %d crash points", got, res.Serve.CrashPoints)
+	}
+	if res.GoodputDeltaFrac >= 0.02 {
+		t.Errorf("recorder-on goodput delta %.4f, want < 0.02", res.GoodputDeltaFrac)
+	}
+}
+
+// CI seed matrix: CRASHSWEEP_SEED varies client schedules and key draws
+// across jobs without new test code.
+func TestSweepBlackBoxSeedMatrix(t *testing.T) {
+	env := os.Getenv("CRASHSWEEP_SEED")
+	if env == "" {
+		t.Skip("set CRASHSWEEP_SEED to run the seed matrix")
+	}
+	seed, err := strconv.ParseUint(env, 0, 64)
+	if err != nil {
+		t.Fatalf("bad CRASHSWEEP_SEED %q: %v", env, err)
+	}
+	res, err := RunBlackBox(ServeConfig{Seed: seed, MaxCrashPoints: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logBlackBox(t, res)
+	for _, v := range res.Serve.Violations {
+		t.Errorf("seed %#x step %d: %s", seed, v.Step, v.Msg)
+	}
+	if res.Serve.CrashPoints < 60 {
+		t.Errorf("seed %#x: only %d crash points, want ≥ 60", seed, res.Serve.CrashPoints)
+	}
+	if got := res.Serve.ForensicExact + res.Serve.ForensicDropped; got != res.Serve.CrashPoints {
+		t.Errorf("seed %#x: forensic audits cover %d of %d crash points", seed, got, res.Serve.CrashPoints)
+	}
+}

@@ -50,6 +50,7 @@ import (
 	"fmt"
 	"sync"
 
+	"viyojit/internal/blackbox"
 	"viyojit/internal/core"
 	"viyojit/internal/dist"
 	"viyojit/internal/faultinject"
@@ -57,6 +58,7 @@ import (
 	"viyojit/internal/kvstore"
 	"viyojit/internal/mmu"
 	"viyojit/internal/nvdram"
+	"viyojit/internal/obs"
 	"viyojit/internal/pheap"
 	"viyojit/internal/power"
 	"viyojit/internal/recovery"
@@ -113,6 +115,13 @@ type ServeConfig struct {
 	// CursorPages sizes the persistent recovery-cursor mapping; 0 maps
 	// no cursor (the plain single-crash sweep). The nested sweep sets 1.
 	CursorPages int
+	// BlackBoxPages sizes the flight-recorder ring mapping; 0 runs
+	// without a recorder. When set, every run carries a budget-accounted
+	// black-box ring, the obs registry tees into it, and every crash
+	// additionally audits the recovered forensic report against the
+	// crash-instant oracle (see blackboxcrash.go). The blackbox sweep
+	// sets 2.
+	BlackBoxPages int
 	// MaxCrashPoints is the number of crash points to inject; 0 selects
 	// 200. The sweep re-wraps the step space (same steps, different
 	// interleavings) until it has actually crashed that many runs.
@@ -207,6 +216,22 @@ type ServeResult struct {
 	// write-amplification ratio EXPERIMENTS.md reports.
 	JournalBytes  uint64
 	MutationBytes uint64
+	// RecorderDirtyCrashes counts crash instants at which at least one
+	// flight-recorder ring page was dirty — direct evidence the ring
+	// rides inside the audited dirty budget rather than beside it.
+	// Zero unless BlackBoxPages > 0.
+	RecorderDirtyCrashes int
+	// ForensicExact counts crashed runs whose recovered forensic report
+	// named the crash-instant dirty level, effective budget, and ladder
+	// state exactly; ForensicDropped counts crashed runs where recorder
+	// drops (shed appends) relaxed the audit to the sequence bound
+	// alone. Every crashed run with a recorder lands in exactly one.
+	ForensicExact   int
+	ForensicDropped int
+	// RecorderAppends and RecorderDrops total successful ring appends
+	// and shed appends across crashed runs.
+	RecorderAppends uint64
+	RecorderDrops   uint64
 }
 
 // serveRun is one freshly built serving stack.
@@ -224,6 +249,9 @@ type serveRun struct {
 	store   *kvstore.Store
 	journal *intent.Journal
 	srv     *serve.Server
+	reg     *obs.Registry      // nil unless BlackBoxPages > 0
+	bbM     *core.Mapping      // nil unless BlackBoxPages > 0
+	rec     *blackbox.Recorder // nil unless BlackBoxPages > 0
 }
 
 // valBytes is the oracle value layout: [count u64][sum u64]. count is
@@ -264,23 +292,38 @@ func buildServe(cfg ServeConfig) (*serveRun, error) {
 	st := &serveRun{cfg: cfg}
 	st.clock = sim.NewClock()
 	st.events = sim.NewQueue()
-	regionPages := cfg.HeapPages + cfg.JournalPages + cfg.CursorPages
+	regionPages := cfg.HeapPages + cfg.JournalPages + cfg.CursorPages + cfg.BlackBoxPages
 	var err error
 	st.region, err = nvdram.New(st.clock, nvdram.Config{Size: int64(regionPages) * pageSize})
 	if err != nil {
 		return nil, err
 	}
 	st.dev = ssd.New(st.clock, st.events, cfg.SSD)
+	if cfg.BlackBoxPages > 0 {
+		st.reg = obs.NewRegistry()
+	}
 	st.mgr, err = core.NewManager(st.clock, st.events, st.region, st.dev, core.Config{
 		DirtyBudgetPages: cfg.BudgetPages,
 		Epoch:            cfg.Epoch,
+		Obs:              st.reg,
 	})
 	if err != nil {
 		return nil, err
 	}
 	// Mapping order is the recovery contract: recoverServe re-Maps the
 	// same names and sizes in the same order, and the first-fit
-	// allocator hands back the same extents.
+	// allocator hands back the same extents. The black box maps FIRST so
+	// its ring sits at the same offset every boot.
+	if cfg.BlackBoxPages > 0 {
+		if st.bbM, err = st.mgr.Map("__blackbox", int64(cfg.BlackBoxPages)*pageSize); err != nil {
+			return nil, err
+		}
+		if st.rec, err = blackbox.New(st.bbM, blackbox.Options{Now: st.clock.Now, Gate: st.bbM.TelemetryWritable}); err != nil {
+			return nil, err
+		}
+		st.reg.SetSink(st.rec)
+		st.rec.Boot(int64(cfg.BudgetPages))
+	}
 	if st.heapM, err = st.mgr.Map("heap", int64(cfg.HeapPages)*pageSize); err != nil {
 		return nil, err
 	}
@@ -338,12 +381,29 @@ func recoverServe(cfg ServeConfig, old *serveRun) (*serveRun, error) {
 			return nil, err
 		}
 	}
+	if cfg.BlackBoxPages > 0 {
+		st.reg = obs.NewRegistry()
+	}
 	st.mgr, err = core.NewManager(st.clock, st.events, st.region, st.dev, core.Config{
 		DirtyBudgetPages: cfg.BudgetPages,
 		Epoch:            cfg.Epoch,
+		Obs:              st.reg,
 	})
 	if err != nil {
 		return nil, err
+	}
+	// The black-box mapping is re-Mapped first (recovery contract) and a
+	// fresh recorder armed over the restored ring — but the registry is
+	// NOT teed into it yet: the manager's own boot bookkeeping must not
+	// overwrite crash-instant slots before the caller walks the ring.
+	// The caller adopts the walk and attaches the sink (attachRecovered).
+	if cfg.BlackBoxPages > 0 {
+		if st.bbM, err = st.mgr.Map("__blackbox", int64(cfg.BlackBoxPages)*pageSize); err != nil {
+			return nil, err
+		}
+		if st.rec, err = blackbox.New(st.bbM, blackbox.Options{Now: st.clock.Now, Gate: st.bbM.TelemetryWritable}); err != nil {
+			return nil, err
+		}
 	}
 	if st.heapM, err = st.mgr.Map("heap", int64(cfg.HeapPages)*pageSize); err != nil {
 		return nil, err
@@ -556,12 +616,12 @@ func compareTables(opened, walked map[uint64]intent.ClientSnapshot, fail func(st
 	}
 }
 
-// journalDirtyAt reports whether any page of the journal mapping
-// diverges from its durable copy — i.e. was dirty at the crash instant.
-// Called before the battery flush.
-func journalDirtyAt(st *serveRun) bool {
-	lo := st.jM.Base() / pageSize
-	hi := (st.jM.Base() + st.jM.Size() - 1) / pageSize
+// mappingDirtyAt reports whether any page of the mapping diverges from
+// its durable copy — i.e. was dirty at the crash instant. Called before
+// the battery flush.
+func mappingDirtyAt(st *serveRun, mp *core.Mapping) bool {
+	lo := mp.Base() / pageSize
+	hi := (mp.Base() + mp.Size() - 1) / pageSize
 	for p := lo; p <= hi; p++ {
 		page := mmu.PageID(p)
 		live := st.region.RawPage(page)
@@ -600,6 +660,10 @@ func runServePoint(cfg ServeConfig, step uint64, keys [][]byte, res *ServeResult
 		logs = driveClients(cfg, run.srv, keys)
 		run.srv.Stop()
 		if _, crashed := crasher.Crashed(); !crashed {
+			// Clean shutdown: the recorder stops before the drain, or the
+			// dirty gauge falling per clean would tee appends that
+			// re-dirty ring pages under the drain loop. Nil-safe.
+			run.rec.Seal()
 			run.mgr.FlushAll()
 		}
 	})
@@ -640,7 +704,8 @@ func runServePoint(cfg ServeConfig, step uint64, keys [][]byte, res *ServeResult
 	}
 	res.CrashPoints++
 
-	// (1) The budget bound at the crash instant, journal pages included.
+	// (1) The budget bound at the crash instant, journal and recorder
+	// pages included.
 	dirty, budget := run.mgr.DirtyCount(), run.mgr.EffectiveDirtyBudget()
 	if dirty > res.MaxDirtyAtCrash {
 		res.MaxDirtyAtCrash = dirty
@@ -648,9 +713,14 @@ func runServePoint(cfg ServeConfig, step uint64, keys [][]byte, res *ServeResult
 	if dirty > budget {
 		fail("dirty count %d exceeds effective budget %d at crash", dirty, budget)
 	}
-	if journalDirtyAt(run) {
+	if mappingDirtyAt(run, run.jM) {
 		res.JournalDirtyCrashes++
 	}
+	// Capture the crash-instant oracle from the live (about-to-die)
+	// stack, then seal the recorder so the flush's own bookkeeping
+	// cannot move the ring past the crash instant.
+	oracle := captureBlackBoxOracle(run, res)
+	run.rec.Seal()
 
 	// (2) Battery flush within the energy provisioned for the budget.
 	pm := power.Default()
@@ -664,6 +734,10 @@ func runServePoint(cfg ServeConfig, step uint64, keys [][]byte, res *ServeResult
 	}
 	res.JournalBytes += run.journal.Stats().AppendBytes
 
+	// (2b) Walk the post-flush ring and audit the forensic report
+	// against the oracle captured the instant before the flush.
+	bbWalk := auditBlackBoxWalk(run, oracle, res, fail)
+
 	// (3) Recover a live stack and check the rebuilt dedup table against
 	// the committed record prefix before any new traffic touches it.
 	rec, err := recoverServe(cfg, run)
@@ -672,6 +746,7 @@ func runServePoint(cfg ServeConfig, step uint64, keys [][]byte, res *ServeResult
 		res.Violations = append(res.Violations, out...)
 		return nil
 	}
+	attachRecovered(rec, bbWalk)
 	if rec.journal.TornOpen() {
 		res.TornOpens++
 	}
@@ -814,6 +889,7 @@ func RunServe(cfg ServeConfig) (ServeResult, error) {
 			return res, fmt.Errorf("crashsweep: baseline left client %d seq %d unacked", lg.id, lg.inDoubt.seq)
 		}
 	}
+	base.rec.Seal() // nil-safe; see the clean-shutdown seal in runServePoint
 	base.mgr.FlushAll()
 	if n := base.mgr.DirtyCount(); n != 0 {
 		return res, fmt.Errorf("crashsweep: baseline left %d dirty pages after flush", n)

@@ -31,25 +31,57 @@ import (
 	"sync/atomic"
 )
 
+// Sink observes instrument updates as they happen: counter increments,
+// gauge level changes, and finished trace spans. It is the tee that
+// feeds the black-box flight recorder without any per-call-site
+// plumbing — producers keep talking to the registry they already have.
+//
+// Sink implementations must be allocation-free and must never block or
+// call back into the registry/tracer that feeds them: the tee fires on
+// the instrument hot path (and, for spans, after the tracer's ring
+// lock is released).
+type Sink interface {
+	// CounterAdd reports a counter increment: the delta just applied
+	// and the resulting total.
+	CounterAdd(name string, delta, total uint64)
+	// GaugeSet reports a gauge level change. It fires only when the
+	// stored value actually changed, so idempotent re-Sets are free.
+	GaugeSet(name string, v int64)
+	// SpanFinished reports a completed trace span.
+	SpanFinished(rec SpanRecord)
+}
+
 // Counter is a monotonically increasing uint64. Overflow wraps modulo
 // 2^64 (the Go atomic addition semantics); at one increment per
 // simulated nanosecond that is ~584 years of virtual time, so wrapping
 // is documented rather than guarded.
 type Counter struct {
 	v atomic.Uint64
+
+	// name and sink are set at creation (under the registry lock) or by
+	// SetSink before concurrent recording starts; the hot path reads
+	// them without synchronisation.
+	name string
+	sink Sink
 }
 
 // Inc adds one. No-op on a nil counter.
 func (c *Counter) Inc() {
 	if c != nil {
-		c.v.Add(1)
+		v := c.v.Add(1)
+		if c.sink != nil {
+			c.sink.CounterAdd(c.name, 1, v)
+		}
 	}
 }
 
 // Add adds n. No-op on a nil counter.
 func (c *Counter) Add(n uint64) {
 	if c != nil {
-		c.v.Add(n)
+		v := c.v.Add(n)
+		if c.sink != nil {
+			c.sink.CounterAdd(c.name, n, v)
+		}
 	}
 }
 
@@ -66,19 +98,31 @@ func (c *Counter) Value() uint64 {
 // whatever was last written.
 type Gauge struct {
 	v atomic.Int64
+
+	// name and sink: same discipline as Counter.
+	name string
+	sink Sink
 }
 
 // Set stores v. No-op on a nil gauge.
 func (g *Gauge) Set(v int64) {
-	if g != nil {
-		g.v.Store(v)
+	if g == nil {
+		return
+	}
+	old := g.v.Swap(v)
+	if g.sink != nil && old != v {
+		g.sink.GaugeSet(g.name, v)
 	}
 }
 
 // Add adjusts the gauge by delta (which may be negative). No-op on nil.
 func (g *Gauge) Add(delta int64) {
-	if g != nil {
-		g.v.Add(delta)
+	if g == nil {
+		return
+	}
+	v := g.v.Add(delta)
+	if g.sink != nil && delta != 0 {
+		g.sink.GaugeSet(g.name, v)
 	}
 }
 
@@ -94,6 +138,9 @@ func (g *Gauge) SetMax(v int64) {
 			return
 		}
 		if g.v.CompareAndSwap(cur, v) {
+			if g.sink != nil {
+				g.sink.GaugeSet(g.name, v)
+			}
 			return
 		}
 	}
@@ -117,6 +164,7 @@ type Registry struct {
 	gauges map[string]*Gauge
 	hists  map[string]*Histogram
 	tracer *Tracer
+	sink   Sink
 }
 
 // NewRegistry returns an empty registry with an attached tracer.
@@ -144,7 +192,7 @@ func (r *Registry) Counter(name string) *Counter {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if c = r.counts[name]; c == nil {
-		c = &Counter{}
+		c = &Counter{name: name, sink: r.sink}
 		r.counts[name] = c
 	}
 	return c
@@ -165,7 +213,7 @@ func (r *Registry) Gauge(name string) *Gauge {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if g = r.gauges[name]; g == nil {
-		g = &Gauge{}
+		g = &Gauge{name: name, sink: r.sink}
 		r.gauges[name] = g
 	}
 	return g
@@ -198,6 +246,29 @@ func (r *Registry) Tracer() *Tracer {
 		return nil
 	}
 	return r.tracer
+}
+
+// SetSink attaches a tee to every instrument — existing and future —
+// and to the tracer's finished-span path. Pass nil to detach.
+//
+// Attachment is not synchronised against concurrent recording: call
+// SetSink during wiring, before the goroutines that record have
+// started (the same discipline the simulator uses for every other
+// configuration hook). No-op on a nil registry.
+func (r *Registry) SetSink(s Sink) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.sink = s
+	for name, c := range r.counts {
+		c.name, c.sink = name, s
+	}
+	for name, g := range r.gauges {
+		g.name, g.sink = name, s
+	}
+	r.mu.Unlock()
+	r.tracer.setSink(s)
 }
 
 // Snapshot returns a point-in-time copy of every instrument, sorted by

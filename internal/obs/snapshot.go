@@ -73,6 +73,7 @@ func (e Export) WriteJSON(w io.Writer) error {
 //	gauge <name> <value>
 //	hist <name> count=N sum=S min=m max=M mean=µ p50=… p90=… p99=… p999=…
 //	span <id> parent=<id> <name> start=S end=E dur=D code=<code>
+//	span_open <id> parent=<id> <name> start=S
 //
 // Like WriteJSON the output is deterministic for a deterministic run.
 func (e Export) WriteText(w io.Writer) error {
@@ -90,6 +91,13 @@ func (e Export) WriteText(w io.Writer) error {
 	for _, s := range e.Trace.Spans {
 		fmt.Fprintf(bw, "span %d parent=%d %s start=%d end=%d dur=%d code=%s\n",
 			s.ID, s.Parent, s.Name, int64(s.Start), int64(s.End), int64(s.Duration()), s.Code)
+	}
+	for _, s := range e.Trace.Open {
+		fmt.Fprintf(bw, "span_open %d parent=%d %s start=%d\n",
+			s.ID, s.Parent, s.Name, int64(s.Start))
+	}
+	if e.Trace.OpenDropped > 0 {
+		fmt.Fprintf(bw, "spans_open_dropped %d\n", e.Trace.OpenDropped)
 	}
 	if e.Trace.Evicted > 0 {
 		fmt.Fprintf(bw, "spans_evicted %d\n", e.Trace.Evicted)

@@ -32,6 +32,7 @@ import (
 	"sync"
 
 	"viyojit/internal/battery"
+	"viyojit/internal/blackbox"
 	"viyojit/internal/core"
 	"viyojit/internal/faultinject"
 	"viyojit/internal/health"
@@ -142,6 +143,17 @@ type (
 	MetricsSnapshot = obs.Snapshot
 	// MetricsExport bundles a metrics snapshot with the trace-span log.
 	MetricsExport = obs.Export
+	// MetricsSink receives live instrument updates (see obs.Sink); the
+	// black-box flight recorder is the canonical implementation.
+	MetricsSink = obs.Sink
+	// BlackBoxRecorder is the crash-surviving flight recorder (enabled
+	// by Config.BlackBox; see internal/blackbox).
+	BlackBoxRecorder = blackbox.Recorder
+	// BlackBoxRecord is one decoded flight-recorder ring entry.
+	BlackBoxRecord = blackbox.Record
+	// ForensicReport is the post-failure reconstruction walked out of
+	// the flight recorder's battery-backed ring (System.Forensics).
+	ForensicReport = blackbox.Report
 )
 
 // Serving-layer request classes and priorities (see internal/serve).
@@ -271,6 +283,19 @@ type Config struct {
 	// DisableSensor reverts the budget chain to reading the raw
 	// battery gauge directly (trusting a single gauge).
 	DisableSensor bool
+	// BlackBox enables the crash-surviving flight recorder: a
+	// checksummed ring of binary event records in battery-backed pages,
+	// Map'd before any application mapping and charged against the same
+	// dirty budget as the heap. The registry tees budget, ladder,
+	// sensor, serve, and recovery decisions into it (obs.Sink), and
+	// after Recover the ring is walked into System.Forensics(). The
+	// recorder degrades to sampling — never blocks — when the budget is
+	// tight.
+	BlackBox bool
+	// BlackBoxPages sizes the recorder's ring; 0 selects 2 pages
+	// (128 records at the default page size). Only read when BlackBox
+	// is set.
+	BlackBoxPages int
 }
 
 // fixedFlushOverhead is the flush-time allowance reserved when deriving
@@ -298,6 +323,13 @@ type System struct {
 	server   *serve.Server
 	reg      *obs.Registry
 	cfg      Config
+
+	// recorder and bbMap exist when Config.BlackBox is set; forensics
+	// is populated on a recovered System (RecoverWith walks the
+	// restored ring).
+	recorder  *blackbox.Recorder
+	bbMap     *core.Mapping
+	forensics *blackbox.Report
 
 	lifecycle sync.Mutex
 	closed    bool
@@ -381,6 +413,34 @@ func New(cfg Config) (*System, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+
+	// The flight recorder maps FIRST — before any application mapping —
+	// so its ring lands at the same region offset on every boot and the
+	// first-fit recovery contract re-attaches it for free. Its pages
+	// are ordinary budget-accounted pages; the TelemetryWritable gate
+	// makes every append that cannot be afforded a counted drop instead
+	// of a stall.
+	var recorder *blackbox.Recorder
+	var bbMap *core.Mapping
+	if cfg.BlackBox {
+		pages := cfg.BlackBoxPages
+		if pages <= 0 {
+			pages = 2
+		}
+		bbMap, err = mgr.Map("__blackbox", int64(pages)*int64(region.PageSize()))
+		if err != nil {
+			return nil, err
+		}
+		recorder, err = blackbox.New(bbMap, blackbox.Options{
+			Now:  clock.Now,
+			Gate: bbMap.TelemetryWritable,
+		})
+		if err != nil {
+			return nil, err
+		}
+		reg.SetSink(recorder)
+		recorder.Boot(int64(budget))
 	}
 	// Safe shrink: before a capacity-reducing change applies, drain the
 	// dirty set down to what the *projected* energy covers — while the
@@ -483,6 +543,8 @@ func New(cfg Config) (*System, error) {
 		scrubber: scr,
 		reg:      reg,
 		cfg:      cfg,
+		recorder: recorder,
+		bbMap:    bbMap,
 	}, nil
 }
 
@@ -624,6 +686,48 @@ func (s *System) IntegrityReport() IntegrityStatus {
 		VerifyFailures: devStats.VerifyFailures,
 	}
 }
+
+// BlackBox returns the flight recorder, or nil when Config.BlackBox
+// was not set. Most callers never need it — the obs tee feeds it
+// automatically — but tests and tools can Mark milestones or read
+// LastSeq/Dropped through it.
+func (s *System) BlackBox() *BlackBoxRecorder { return s.recorder }
+
+// BlackBoxReport walks the recorder's ring as it stands right now and
+// returns the forensic report — the same view a post-crash Recover
+// would adopt if power failed at this instant. It errors when the
+// recorder is disabled.
+func (s *System) BlackBoxReport() (ForensicReport, error) {
+	if s.recorder == nil {
+		return ForensicReport{}, fmt.Errorf("viyojit: black box not enabled (set Config.BlackBox)")
+	}
+	w, err := blackbox.ReadAndWalk(s.bbMap)
+	if err != nil {
+		return ForensicReport{}, err
+	}
+	return blackbox.BuildReport(w), nil
+}
+
+// BlackBoxImage returns a copy of the raw ring bytes as they stand
+// right now — the image an operator would pull off the battery-backed
+// region for offline analysis (cmd/blackbox -in). It errors when the
+// recorder is disabled.
+func (s *System) BlackBoxImage() ([]byte, error) {
+	if s.recorder == nil {
+		return nil, fmt.Errorf("viyojit: black box not enabled (set Config.BlackBox)")
+	}
+	img := make([]byte, s.bbMap.Size())
+	if err := s.bbMap.ReadAt(img, 0); err != nil {
+		return nil, err
+	}
+	return img, nil
+}
+
+// Forensics returns the report recovered from the previous
+// incarnation's flight-recorder ring — the crash-instant timeline,
+// dirty/budget trajectories, and final ladder state. It is non-nil
+// only on a System produced by Recover with the black box enabled.
+func (s *System) Forensics() *ForensicReport { return s.forensics }
 
 // NewStore formats a persistent heap on a fresh mapping and creates a
 // KV store on it — the store most serving deployments front with
@@ -800,12 +904,25 @@ func (s *System) Submit(ctx context.Context, req ServeRequest) (ServeResult, err
 }
 
 // FlushAll synchronously cleans every dirty page (clean shutdown).
-func (s *System) FlushAll() { s.manager.FlushAll() }
+// The flight recorder is quiesced for the drain — the dirty gauge
+// falling as each clean completes would otherwise tee appends that
+// re-dirty ring pages under the loop trying to empty the dirty set —
+// and resumes, drops counted, once the set is empty.
+func (s *System) FlushAll() {
+	resume := s.recorder.Quiesce()
+	s.manager.FlushAll()
+	resume()
+}
 
 // SimulatePowerFailure cuts power: the dirty set is flushed on battery
 // energy and the report says whether the provisioned battery covered it.
 // The system is stopped afterwards; use Recover to come back up.
 func (s *System) SimulatePowerFailure() PowerFailReport {
+	// Power is gone: the flight recorder stops at this exact instant,
+	// so the flush's own bookkeeping (the dirty gauge falling to zero,
+	// the flush span finishing) cannot re-dirty ring pages after the
+	// energy audit began. The last ring record IS the crash instant.
+	s.recorder.Seal()
 	// Sample the battery live: a capacity change landing during the
 	// flush (scheduled ageing, cell dropout) is charged against the
 	// energy actually left at completion, not the pre-flush reading.
@@ -914,6 +1031,21 @@ func (s *System) RecoverWith(opts RecoverOptions) (*System, recovery.RestoreRepo
 			return nil, recovery.RestoreReport{}, err
 		}
 		restored++
+	}
+	// Walk the restored flight-recorder ring into the forensic report
+	// and adopt its sequence, so post-recovery records extend the
+	// pre-crash timeline monotonically. (The fresh boot record New wrote
+	// was overwritten wherever the restore reloaded ring pages — the
+	// crash's view wins.)
+	if ns.recorder != nil {
+		w, werr := blackbox.ReadAndWalk(ns.bbMap)
+		if werr != nil {
+			return nil, recovery.RestoreReport{}, werr
+		}
+		rep := blackbox.BuildReport(w)
+		ns.forensics = &rep
+		ns.recorder.Adopt(w)
+		ns.recorder.Append(blackbox.KindRecover, 0, int64(w.LastSeq), int64(w.Torn), 0, 0)
 	}
 	return ns, recovery.RestoreReport{
 		PagesRestored: restored,
